@@ -1,0 +1,148 @@
+#include "common/figure_bench.hpp"
+
+namespace manet::bench {
+
+std::optional<FigureOptions> parse_figure_options(int argc, const char* const* argv,
+                                                  const std::string& summary) {
+  CliParser cli(summary);
+  cli.add_option("preset", "simulation scale: quick | default | paper", "default");
+  cli.add_option("seed", "random seed", "2002");
+  cli.add_option("rs-quantile",
+                 "stationary critical-radius quantile defining r_stationary", "0.95");
+  cli.add_option("iterations", "override: independent runs per data point", "");
+  cli.add_option("steps", "override: mobility steps per run", "");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const ConfigError& error) {
+    std::cerr << error.what() << '\n';
+    return std::nullopt;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return std::nullopt;
+  }
+
+  FigureOptions options;
+  options.preset = parse_preset(cli.string_value("preset"));
+  options.seed = cli.uint_value("seed");
+  options.csv = cli.flag("csv");
+  options.rs_quantile = cli.double_value("rs-quantile");
+  if (!(options.rs_quantile > 0.0 && options.rs_quantile <= 1.0)) {
+    std::cerr << "--rs-quantile must be in (0, 1]\n";
+    return std::nullopt;
+  }
+  if (cli.was_set("iterations")) {
+    options.iterations = static_cast<std::size_t>(cli.uint_value("iterations"));
+  }
+  if (cli.was_set("steps")) {
+    options.steps = static_cast<std::size_t>(cli.uint_value("steps"));
+  }
+  return options;
+}
+
+double stationary_reference_range(double l, std::size_t n, std::size_t trials,
+                                  double quantile, Rng& rng) {
+  const Box2 region(l);
+  MtrOptions options;
+  options.trials = trials;
+  options.target_probability = quantile;
+  return estimate_mtr<2>(n, region, options, rng).range;
+}
+
+void apply_scale(MtrmConfig& config, const FigureOptions& options) {
+  const ScaleParams scale = options.scale();
+  config.iterations = scale.iterations;
+  config.steps = scale.steps;
+}
+
+void print_result(const TextTable& table, const FigureOptions& options,
+                  const std::string& title, const std::string& footnote) {
+  if (options.csv) {
+    table.print_csv(std::cout);
+    return;
+  }
+  const ScaleParams scale = options.scale();
+  std::cout << title << "\n"
+            << "preset=" << preset_name(options.preset) << " (" << scale.iterations
+            << " iterations x " << scale.steps << " steps, " << scale.stationary_trials
+            << " stationary trials), seed=" << options.seed << "\n\n";
+  table.print(std::cout);
+  if (footnote.empty()) {
+    std::cout << "\nPaper columns are approximate values read off the published figure;\n"
+                 "shapes (orderings, trends, thresholds) are the reproduction target,\n"
+                 "not absolute numbers. See EXPERIMENTS.md.\n";
+  } else {
+    std::cout << '\n' << footnote << '\n';
+  }
+}
+
+std::string l_label(double l) {
+  if (l >= 1024.0) return std::to_string(static_cast<int>(l / 1024.0)) + "K";
+  return std::to_string(static_cast<int>(l));
+}
+
+void run_ratio_figure(const FigureOptions& options, bool drunkard,
+                      const std::string& title, const std::vector<PaperSeries>& paper) {
+  Rng rng(options.seed);
+  const ScaleParams scale = options.scale();
+
+  TextTable table({"l", "n", "r_stationary", "r100/rs", "paper", "r90/rs", "paper",
+                   "r10/rs", "paper", "r0/rs", "paper"});
+
+  const auto l_values = experiments::figure_l_values();
+  for (std::size_t li = 0; li < l_values.size(); ++li) {
+    const double l = l_values[li];
+    const std::size_t n = experiments::paper_node_count(l);
+
+    Rng point_rng = rng.split();
+    const double rs = stationary_reference_range(l, n, scale.stationary_trials, options.rs_quantile, point_rng);
+
+    MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
+                                 : experiments::waypoint_experiment(l, options.preset);
+    apply_scale(config, options);
+    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+
+    table.add_row({l_label(l), std::to_string(n), TextTable::num(rs, 1),
+                   TextTable::num(result.range_for_time[0].mean() / rs, 3),
+                   TextTable::num(paper[0].values[li], 2),
+                   TextTable::num(result.range_for_time[1].mean() / rs, 3),
+                   TextTable::num(paper[1].values[li], 2),
+                   TextTable::num(result.range_for_time[2].mean() / rs, 3),
+                   TextTable::num(paper[2].values[li], 2),
+                   TextTable::num(result.range_never_connected.mean() / rs, 3),
+                   TextTable::num(paper[3].values[li], 2)});
+  }
+  print_result(table, options, title);
+}
+
+void run_component_figure(const FigureOptions& options, bool drunkard,
+                          const std::string& title, const std::vector<PaperSeries>& paper) {
+  Rng rng(options.seed);
+
+  TextTable table({"l", "n", "LCC@r90", "paper", "LCC@r10", "paper", "LCC@r0", "paper"});
+
+  const auto l_values = experiments::figure_l_values();
+  for (std::size_t li = 0; li < l_values.size(); ++li) {
+    const double l = l_values[li];
+    const std::size_t n = experiments::paper_node_count(l);
+
+    Rng point_rng = rng.split();
+    MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
+                                 : experiments::waypoint_experiment(l, options.preset);
+    apply_scale(config, options);
+    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+
+    table.add_row({l_label(l), std::to_string(n),
+                   TextTable::num(result.lcc_at_range_for_time[1].mean(), 3),
+                   TextTable::num(paper[0].values[li], 2),
+                   TextTable::num(result.lcc_at_range_for_time[2].mean(), 3),
+                   TextTable::num(paper[1].values[li], 2),
+                   TextTable::num(result.lcc_at_range_never.mean(), 3),
+                   TextTable::num(paper[2].values[li], 2)});
+  }
+  print_result(table, options, title);
+}
+
+}  // namespace manet::bench

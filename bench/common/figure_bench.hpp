@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/mtr.hpp"
+#include "core/mtrm.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace manet::bench {
+
+/// Options shared by every figure-reproduction binary.
+struct FigureOptions {
+  Preset preset = Preset::kDefault;
+  std::uint64_t seed = 2002;  // DSN 2002
+  bool csv = false;
+  /// Quantile of the stationary critical-radius distribution used as
+  /// r_stationary. 0.95 calibrates our r100/r_stationary series onto the
+  /// published Figure 2 almost exactly (see EXPERIMENTS.md).
+  double rs_quantile = 0.95;
+  /// Explicit overrides (win over the preset when set).
+  std::optional<std::size_t> iterations;
+  std::optional<std::size_t> steps;
+
+  ScaleParams scale() const {
+    ScaleParams params = scale_for(preset);
+    if (iterations) params.iterations = *iterations;
+    if (steps) params.steps = *steps;
+    return params;
+  }
+};
+
+/// Registers the standard flags, parses argv, and prints help when asked.
+/// Returns nullopt (after printing) when the program should exit.
+std::optional<FigureOptions> parse_figure_options(int argc, const char* const* argv,
+                                                  const std::string& summary);
+
+/// r_stationary for n nodes in [0, l]^2 (DESIGN.md convention 1): the
+/// `quantile` of the stationary critical-radius distribution.
+double stationary_reference_range(double l, std::size_t n, std::size_t trials,
+                                  double quantile, Rng& rng);
+
+/// Applies the scale overrides to an experiment config.
+void apply_scale(MtrmConfig& config, const FigureOptions& options);
+
+/// Prints the table in text or CSV form per options, preceded by a header
+/// line naming the experiment and scale. `footnote` is printed after the
+/// table (empty = the standard paper-columns disclaimer; extension benches
+/// without paper columns pass their own note).
+void print_result(const TextTable& table, const FigureOptions& options,
+                  const std::string& title, const std::string& footnote = "");
+
+/// Formats a region side for table rows the way the paper labels its x axes
+/// ("256", "1K", "4K", "16K").
+std::string l_label(double l);
+
+/// Approximate values read off a published figure, one per l in
+/// {256, 1K, 4K, 16K}, used for side-by-side comparison columns.
+struct PaperSeries {
+  std::string label;
+  std::array<double, 4> values;
+};
+
+/// Figures 2-3 runner: the ratios r100/r90/r10/r0 over r_stationary for
+/// l in {256, 1K, 4K, 16K} under the given mobility configuration factory.
+/// `paper` supplies the digitized reference series in the same order.
+void run_ratio_figure(const FigureOptions& options, bool drunkard,
+                      const std::string& title, const std::vector<PaperSeries>& paper);
+
+/// Figures 4-5 runner: the mean largest-connected-component fraction at
+/// r90 / r10 / r0 for the same sweep.
+void run_component_figure(const FigureOptions& options, bool drunkard,
+                          const std::string& title, const std::vector<PaperSeries>& paper);
+
+}  // namespace manet::bench

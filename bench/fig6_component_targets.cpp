@@ -1,0 +1,54 @@
+// Figure 6 of the paper: the ranges rl90 / rl75 / rl50 (mean largest
+// component = 0.9n / 0.75n / 0.5n) relative to r_stationary for increasing
+// l, RANDOM WAYPOINT model.
+//
+// Expected shape: rl90/rs decreases with l toward ~0.52; rl75/rs (~0.46)
+// and rl50/rs (~0.40) are almost flat; the three curves converge as l
+// grows ("for large networks the savings are not as great if the
+// requirement is only 50% of the nodes").
+
+#include "common/figure_bench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  using namespace manet::bench;
+  const auto options = parse_figure_options(
+      argc, argv, "fig6_component_targets: rl90/rl75/rl50 over r_stationary vs l");
+  if (!options) return 0;
+
+  // Digitized from the published Figure 6 (approximate).
+  const std::vector<PaperSeries> paper = {
+      {"rl90/rs", {0.75, 0.64, 0.57, 0.52}},
+      {"rl75/rs", {0.50, 0.47, 0.46, 0.46}},
+      {"rl50/rs", {0.35, 0.38, 0.39, 0.40}},
+  };
+
+  Rng rng(options->seed);
+  const ScaleParams scale = options->scale();
+  TextTable table({"l", "n", "rl90/rs", "paper", "rl75/rs", "paper", "rl50/rs", "paper"});
+
+  const auto l_values = experiments::figure_l_values();
+  for (std::size_t li = 0; li < l_values.size(); ++li) {
+    const double l = l_values[li];
+    const std::size_t n = experiments::paper_node_count(l);
+
+    Rng point_rng = rng.split();
+    const double rs = stationary_reference_range(l, n, scale.stationary_trials, options->rs_quantile, point_rng);
+
+    MtrmConfig config = experiments::waypoint_experiment(l, options->preset);
+    apply_scale(config, *options);
+    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+
+    const std::string l_text = l_label(l);
+    table.add_row({l_text, std::to_string(n),
+                   TextTable::num(result.range_for_component[0].mean() / rs, 3),
+                   TextTable::num(paper[0].values[li], 2),
+                   TextTable::num(result.range_for_component[1].mean() / rs, 3),
+                   TextTable::num(paper[1].values[li], 2),
+                   TextTable::num(result.range_for_component[2].mean() / rs, 3),
+                   TextTable::num(paper[2].values[li], 2)});
+  }
+  print_result(table, *options,
+               "Figure 6 — rl_phi / r_stationary vs l (random waypoint)");
+  return 0;
+}

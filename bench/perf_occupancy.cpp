@@ -1,0 +1,62 @@
+// Microbenchmarks (google-benchmark) of the occupancy-theory kernels used
+// by the Section 3 validation bench: the O(n*C) exact distribution DP and
+// the Lemma 2 conditional probabilities.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "occupancy/gap_pattern.hpp"
+#include "occupancy/occupancy.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace manet;
+
+void BM_EmptyCellsDistribution(benchmark::State& state) {
+  const auto C = static_cast<std::uint64_t>(state.range(0));
+  const auto n = static_cast<std::uint64_t>(
+      static_cast<double>(C) * std::sqrt(std::log(static_cast<double>(C))));
+  for (auto _ : state) {
+    auto pmf = occupancy::empty_cells_distribution(n, C);
+    benchmark::DoNotOptimize(pmf);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * C));
+}
+BENCHMARK(BM_EmptyCellsDistribution)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PatternProbabilityExact(benchmark::State& state) {
+  const auto C = static_cast<std::uint64_t>(state.range(0));
+  const auto n = 2 * C;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gap_pattern::pattern_probability(n, C));
+  }
+}
+BENCHMARK(BM_PatternProbabilityExact)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PatternProbabilityMonteCarlo(benchmark::State& state) {
+  const auto C = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t n = 2 * C;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gap_pattern::pattern_probability_monte_carlo(n, C, 100, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_PatternProbabilityMonteCarlo)->Arg(64)->Arg(256);
+
+void BM_LimitLaw(benchmark::State& state) {
+  const std::uint64_t C = 4096;
+  const std::uint64_t n = 8192;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(occupancy::limit_law(n, C));
+  }
+}
+BENCHMARK(BM_LimitLaw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

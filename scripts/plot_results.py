@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Plot the CSV output of the figure benches.
+
+Each bench accepts --csv; pipe that into a file and point this script at it:
+
+    ./build/bench/fig2_waypoint_ratios --preset paper --csv > fig2.csv
+    python3 scripts/plot_results.py fig2.csv --out fig2.png
+
+The first column is used as the x axis; every remaining numeric column
+becomes a series. Columns named 'paper' (the digitized reference values) are
+drawn dashed. Requires matplotlib.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def load(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        raise SystemExit(f"{path}: need a header row and at least one data row")
+    return rows[0], rows[1:]
+
+
+def to_float(text):
+    try:
+        return float(text.rstrip("K")) * (1024.0 if text.endswith("K") else 1.0)
+    except ValueError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("csv_file", help="CSV produced by a bench with --csv")
+    parser.add_argument("--out", default=None, help="output image (default: show)")
+    parser.add_argument("--title", default=None, help="plot title")
+    parser.add_argument("--logx", action="store_true", help="logarithmic x axis")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        if args.out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib is required: pip install matplotlib")
+
+    header, rows = load(args.csv_file)
+    xs = [to_float(row[0]) for row in rows]
+    if any(x is None for x in xs):
+        # Non-numeric x (e.g. model names): fall back to positional x.
+        xs = list(range(len(rows)))
+
+    figure, axes = plt.subplots(figsize=(7.0, 4.5))
+    paper_counter = 0
+    for column in range(1, len(header)):
+        ys = [to_float(row[column]) for row in rows]
+        if any(y is None for y in ys):
+            continue  # skip non-numeric columns (labels, regimes, ...)
+        name = header[column]
+        if name.lower().startswith("paper"):
+            paper_counter += 1
+            label = header[column - 1] + " (paper)"
+            axes.plot(xs, ys, "--", alpha=0.6, label=label)
+        else:
+            axes.plot(xs, ys, "o-", label=name)
+
+    axes.set_xlabel(header[0])
+    if args.logx:
+        axes.set_xscale("log")
+    axes.grid(True, alpha=0.3)
+    axes.legend(fontsize=8)
+    if args.title:
+        axes.set_title(args.title)
+    figure.tight_layout()
+
+    if args.out:
+        figure.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

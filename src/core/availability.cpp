@@ -1,0 +1,21 @@
+#include "core/availability.hpp"
+
+#include "support/error.hpp"
+
+namespace manet {
+
+AvailabilityReport evaluate_availability(const MobileConnectivityTrace& trace, double range,
+                                         double phi) {
+  MANET_EXPECTS(range >= 0.0);
+  MANET_EXPECTS(phi > 0.0 && phi <= 1.0);
+
+  AvailabilityReport report;
+  report.range = range;
+  report.phi = phi;
+  report.full_availability = trace.fraction_of_time_connected(range);
+  report.degraded_availability = trace.fraction_of_time_component_at_least(range, phi);
+  report.mean_component_when_down = trace.mean_largest_fraction_when_disconnected(range);
+  return report;
+}
+
+}  // namespace manet

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "core/mtrm.hpp"
+#include "sim/mobile_trace.hpp"
+#include "sim/outage.hpp"
+#include "support/stats.hpp"
+
+namespace manet {
+
+/// Availability view of a mobile network (the paper's Section 1 framing):
+/// "assuming that a network is 'up' if all nodes are connected and 'down'
+/// otherwise, the percentage of time it is connected is an estimate of
+/// network availability"; applications that tolerate partial connectivity
+/// instead count the time a sufficiently large component exists.
+struct AvailabilityReport {
+  double range = 0.0;
+  /// Fraction of time the network is fully connected at `range`.
+  double full_availability = 0.0;
+  /// Fraction of time the largest component holds >= phi * n nodes.
+  double degraded_availability = 0.0;
+  /// The degraded-mode component fraction used.
+  double phi = 0.0;
+  /// Mean largest-component fraction over the disconnected intervals.
+  double mean_component_when_down = 0.0;
+};
+
+/// Evaluates availability of a recorded trace at a given transmitting range.
+/// Requires range >= 0 and phi in (0, 1].
+AvailabilityReport evaluate_availability(const MobileConnectivityTrace& trace, double range,
+                                         double phi);
+
+/// Temporal outage structure of a mobile configuration when operated at its
+/// own r_f, aggregated across iterations: the same fraction of downtime can
+/// be many one-step glitches or one long blackout, which the paper's
+/// fraction-of-time availability estimate cannot distinguish.
+struct OutageAggregate {
+  /// The time fraction f whose per-iteration range r_f the network ran at.
+  double time_fraction = 0.0;
+  RunningStats operating_range;
+  RunningStats availability;
+  RunningStats outage_count;
+  RunningStats longest_outage;
+  RunningStats mean_outage_length;
+  RunningStats longest_uptime;
+};
+
+/// Runs `config.iterations` independent traces; within each, solves r_f for
+/// every f in config.time_fractions and analyses the outage intervals of
+/// that same trace operated at r_f. config.component_fractions is ignored.
+template <int D>
+std::vector<OutageAggregate> solve_outage_structure(const MtrmConfig& config, Rng& rng) {
+  config.validate();
+  const Box<D> region(config.side);
+
+  std::vector<OutageAggregate> aggregates(config.time_fractions.size());
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    aggregates[i].time_fraction = config.time_fractions[i];
+  }
+
+  for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    Rng iteration_rng = rng.split();
+    const auto model = make_mobility_model<D>(config.mobility, region);
+    const MobileConnectivityTrace trace =
+        run_mobile_trace<D>(config.node_count, region, config.steps, *model, iteration_rng);
+
+    for (OutageAggregate& aggregate : aggregates) {
+      const double r_f = trace.range_for_time_fraction(aggregate.time_fraction);
+      const OutageStats stats = analyze_outages(trace.critical_radius_timeline(), r_f);
+      aggregate.operating_range.add(r_f);
+      aggregate.availability.add(stats.availability);
+      aggregate.outage_count.add(static_cast<double>(stats.outage_count));
+      aggregate.longest_outage.add(static_cast<double>(stats.longest_outage));
+      aggregate.mean_outage_length.add(stats.mean_outage_length);
+      aggregate.longest_uptime.add(static_cast<double>(stats.longest_uptime));
+    }
+  }
+  return aggregates;
+}
+
+}  // namespace manet

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "geometry/box.hpp"
+#include "sim/stationary_sample.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+
+/// The paper's alternate MTR formulation (Section 2): "for a given
+/// transmitter technology, how many nodes must be distributed over a given
+/// region to ensure connectedness with high probability?" — the primary
+/// question in network dimensioning when the radio range r is fixed by
+/// hardware.
+struct DimensioningOptions {
+  /// Deployments sampled per candidate node count.
+  std::size_t trials = 200;
+  /// Required connection probability.
+  std::size_t max_nodes = 1 << 16;  ///< search ceiling (throws if insufficient)
+  double target_probability = 0.95;
+
+  void validate() const {
+    if (trials == 0) throw ConfigError("DimensioningOptions: trials must be >= 1");
+    if (max_nodes < 2) throw ConfigError("DimensioningOptions: max_nodes must be >= 2");
+    if (!(target_probability > 0.0 && target_probability <= 1.0)) {
+      throw ConfigError("DimensioningOptions: target_probability must be in (0, 1]");
+    }
+  }
+};
+
+struct DimensioningResult {
+  std::size_t node_count = 0;          ///< minimal n meeting the target
+  double achieved_probability = 0.0;   ///< empirical P(connected) at that n
+  std::size_t evaluations = 0;         ///< candidate n values simulated
+};
+
+/// Finds the minimum n such that n uniform nodes in `box` with common range
+/// `range` form a connected graph with probability >= target, by exponential
+/// search followed by bisection over n (P(connected) is nondecreasing in n
+/// for fixed r — more nodes only add edges... more precisely, adding a node
+/// can only help coverage of gaps; empirically monotone, which the property
+/// tests check statistically).
+///
+/// Requires range > 0. Throws ConfigError when even max_nodes nodes do not
+/// reach the target (range too small for the region).
+template <int D>
+DimensioningResult minimum_node_count(double range, const Box<D>& box,
+                                      const DimensioningOptions& options, Rng& rng) {
+  options.validate();
+  MANET_EXPECTS(range > 0.0);
+
+  DimensioningResult result;
+  const auto probability_at = [&](std::size_t n) {
+    ++result.evaluations;
+    Rng trial_rng = rng.split();
+    const auto sample =
+        sample_stationary_critical_ranges<D>(n, box, options.trials, trial_rng);
+    return sample.probability_connected(range);
+  };
+
+  // Exponential search for an upper bracket.
+  std::size_t lo = 1;  // n = 1 is vacuously connected only when target <= 1 trial...
+  std::size_t hi = 2;
+  double hi_probability = probability_at(hi);
+  while (hi_probability < options.target_probability) {
+    if (hi >= options.max_nodes) {
+      throw ConfigError(
+          "minimum_node_count: target probability unreachable within max_nodes "
+          "(range too small for the region)");
+    }
+    lo = hi;
+    hi = std::min(hi * 2, options.max_nodes);
+    hi_probability = probability_at(hi);
+  }
+
+  // Bisection: smallest n in (lo, hi] meeting the target.
+  double achieved = hi_probability;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const double p = probability_at(mid);
+    if (p >= options.target_probability) {
+      hi = mid;
+      achieved = p;
+    } else {
+      lo = mid;
+    }
+  }
+  result.node_count = hi;
+  result.achieved_probability = achieved;
+  return result;
+}
+
+}  // namespace manet

@@ -1,0 +1,22 @@
+#include "core/energy.hpp"
+
+#include <cmath>
+
+namespace manet {
+
+double EnergyModel::transmit_power(double range) const {
+  MANET_EXPECTS(range >= 0.0);
+  return std::pow(range, alpha_);
+}
+
+double EnergyModel::network_power(std::size_t node_count, double range) const {
+  return static_cast<double>(node_count) * transmit_power(range);
+}
+
+double EnergyModel::savings(double r_base, double r_reduced) const {
+  MANET_EXPECTS(r_base > 0.0);
+  MANET_EXPECTS(r_reduced >= 0.0 && r_reduced <= r_base);
+  return 1.0 - std::pow(r_reduced / r_base, alpha_);
+}
+
+}  // namespace manet

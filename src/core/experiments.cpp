@@ -1,0 +1,100 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+const char* preset_name(Preset preset) {
+  switch (preset) {
+    case Preset::kQuick:
+      return "quick";
+    case Preset::kDefault:
+      return "default";
+    case Preset::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+Preset parse_preset(const std::string& text) {
+  if (text == "quick") return Preset::kQuick;
+  if (text == "default") return Preset::kDefault;
+  if (text == "paper") return Preset::kPaper;
+  throw ConfigError("unknown preset '" + text + "' (expected quick|default|paper)");
+}
+
+ScaleParams scale_for(Preset preset) {
+  switch (preset) {
+    case Preset::kQuick:
+      return {/*iterations=*/4, /*steps=*/500, /*stationary_trials=*/100};
+    case Preset::kDefault:
+      return {/*iterations=*/10, /*steps=*/2000, /*stationary_trials=*/250};
+    case Preset::kPaper:
+      return {/*iterations=*/50, /*steps=*/10000, /*stationary_trials=*/1000};
+  }
+  throw ConfigError("unknown preset");
+}
+
+namespace experiments {
+
+std::vector<double> figure_l_values() { return {256.0, 1024.0, 4096.0, 16384.0}; }
+
+std::size_t paper_node_count(double l) {
+  MANET_EXPECTS(l >= 1.0);
+  return static_cast<std::size_t>(std::floor(std::sqrt(l)));
+}
+
+namespace {
+
+MtrmConfig base_config(double l, Preset preset) {
+  const ScaleParams scale = scale_for(preset);
+  MtrmConfig config;
+  config.node_count = paper_node_count(l);
+  config.side = l;
+  config.steps = scale.steps;
+  config.iterations = scale.iterations;
+  return config;
+}
+
+}  // namespace
+
+MtrmConfig waypoint_experiment(double l, Preset preset) {
+  MtrmConfig config = base_config(l, preset);
+  config.mobility = MobilityConfig::paper_waypoint(l);
+  return config;
+}
+
+MtrmConfig drunkard_experiment(double l, Preset preset) {
+  MtrmConfig config = base_config(l, preset);
+  config.mobility = MobilityConfig::paper_drunkard(l);
+  return config;
+}
+
+MtrmConfig sweep_base_config(Preset preset) {
+  // Section 4.3: "the random waypoint model with l = 4096 and n = sqrt(l) =
+  // 64. The default values of the mobility parameters were set as above."
+  return waypoint_experiment(4096.0, preset);
+}
+
+std::vector<double> figure7_pstationary_values() {
+  std::vector<double> values = {0.0, 0.2};
+  for (double p = 0.4; p <= 0.6 + 1e-9; p += 0.02) values.push_back(p);
+  values.push_back(0.8);
+  values.push_back(1.0);
+  return values;
+}
+
+std::vector<double> figure8_tpause_values() {
+  std::vector<double> values;
+  for (double t = 0.0; t <= 10000.0 + 1e-9; t += 1000.0) values.push_back(t);
+  return values;
+}
+
+std::vector<double> figure9_vmax_fractions() {
+  return {0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5};
+}
+
+}  // namespace experiments
+}  // namespace manet

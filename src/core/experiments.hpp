@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/mtrm.hpp"
+
+namespace manet {
+
+/// Simulation scale presets. `kPaper` is the paper's exact configuration
+/// (50 iterations x 10 000 mobility steps per data point); the smaller
+/// presets run the identical code path with fewer samples, which preserves
+/// the figures' shapes at a fraction of the runtime (DESIGN.md §2).
+enum class Preset { kQuick, kDefault, kPaper };
+
+const char* preset_name(Preset preset);
+
+/// Parses "quick" / "default" / "paper"; throws ConfigError otherwise.
+Preset parse_preset(const std::string& text);
+
+/// Sample counts attached to a preset.
+struct ScaleParams {
+  std::size_t iterations = 0;
+  std::size_t steps = 0;
+  /// Deployments used to estimate r_stationary.
+  std::size_t stationary_trials = 0;
+};
+
+ScaleParams scale_for(Preset preset);
+
+/// Experiment definitions mirroring the paper's Section 4 setups.
+namespace experiments {
+
+/// The system sizes of Figures 2-6: l in {256, 1K, 4K, 16K}.
+std::vector<double> figure_l_values();
+
+/// The paper's node count rule for Section 4: n = floor(sqrt(l)).
+std::size_t paper_node_count(double l);
+
+/// Figures 2/4/6 configuration: random waypoint with the paper's moderate-
+/// mobility defaults over a side-l region.
+MtrmConfig waypoint_experiment(double l, Preset preset);
+
+/// Figures 3/5 configuration: drunkard model with the paper's defaults.
+MtrmConfig drunkard_experiment(double l, Preset preset);
+
+/// Section 4.3 base configuration: random waypoint, l = 4096, n = 64,
+/// default mobility parameters (individual sweeps override one parameter).
+MtrmConfig sweep_base_config(Preset preset);
+
+/// Figure 7 sweep: p_stationary from 0 to 1 in steps of 0.2, refined to
+/// steps of 0.02 inside [0.4, 0.6] where the paper found the threshold.
+std::vector<double> figure7_pstationary_values();
+
+/// Figure 8 sweep: t_pause from 0 to 10 000 mobility steps.
+std::vector<double> figure8_tpause_values();
+
+/// Figure 9 sweep: v_max from 0.01*l to 0.5*l, expressed as fractions of l.
+std::vector<double> figure9_vmax_fractions();
+
+}  // namespace experiments
+}  // namespace manet

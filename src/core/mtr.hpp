@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+
+#include "geometry/box.hpp"
+#include "sim/stationary_sample.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+
+/// Options for the stationary MINIMUM TRANSMITTING RANGE estimator.
+struct MtrOptions {
+  /// Number of independent deployments sampled.
+  std::size_t trials = 200;
+  /// The "high probability" level defining r_stationary: the returned range
+  /// connects at least this fraction of random deployments (DESIGN.md
+  /// convention 1).
+  double target_probability = 0.99;
+
+  void validate() const {
+    if (trials == 0) throw ConfigError("MtrOptions: trials must be >= 1");
+    if (!(target_probability > 0.0 && target_probability <= 1.0)) {
+      throw ConfigError("MtrOptions: target_probability must be in (0, 1]");
+    }
+  }
+};
+
+/// Solution of the stationary MTR problem for one (n, l, d) triple.
+struct MtrEstimate {
+  /// r_stationary: minimum range connecting >= target_probability of
+  /// deployments.
+  double range = 0.0;
+  /// Mean critical radius across the sample (the "typical" deployment).
+  double mean_critical_range = 0.0;
+  std::size_t trials = 0;
+  double target_probability = 0.0;
+};
+
+/// Estimates the stationary MTR — "suppose n nodes are placed in [0,l]^d;
+/// what is the minimum value of r such that the resulting communication
+/// graph is connected?" — in the probabilistic sense of the paper: the
+/// minimum r that connects a target fraction of random uniform deployments.
+template <int D>
+MtrEstimate estimate_mtr(std::size_t n, const Box<D>& box, const MtrOptions& options,
+                         Rng& rng) {
+  options.validate();
+  MANET_EXPECTS(n >= 1);
+  const StationaryRangeSample sample =
+      sample_stationary_critical_ranges<D>(n, box, options.trials, rng);
+  MtrEstimate estimate;
+  estimate.range = sample.range_for_probability(options.target_probability);
+  estimate.mean_critical_range = sample.mean_critical_range();
+  estimate.trials = options.trials;
+  estimate.target_probability = options.target_probability;
+  return estimate;
+}
+
+}  // namespace manet

@@ -1,0 +1,27 @@
+#include "core/mtrm.hpp"
+
+#include "support/error.hpp"
+
+namespace manet {
+
+void MtrmConfig::validate() const {
+  if (node_count < 2) throw ConfigError("MtrmConfig: node_count must be >= 2");
+  if (!(side > 0.0)) throw ConfigError("MtrmConfig: side must be > 0");
+  if (steps == 0) throw ConfigError("MtrmConfig: steps must be >= 1");
+  if (iterations == 0) throw ConfigError("MtrmConfig: iterations must be >= 1");
+  if (time_fractions.empty() && component_fractions.empty()) {
+    throw ConfigError("MtrmConfig: nothing to solve (no fractions requested)");
+  }
+  for (double f : time_fractions) {
+    if (!(f > 0.0 && f <= 1.0)) {
+      throw ConfigError("MtrmConfig: time fractions must be in (0, 1]");
+    }
+  }
+  for (double phi : component_fractions) {
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      throw ConfigError("MtrmConfig: component fractions must be in (0, 1]");
+    }
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "mobility/factory.hpp"
+#include "sim/mobile_trace.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace manet {
+
+/// Configuration of a MINIMUM TRANSMITTING RANGE MOBILE experiment: n nodes
+/// in [0, side]^D, moved by `mobility` for `steps` steps, repeated over
+/// `iterations` independent runs (the paper uses 50 iterations of 10 000
+/// steps).
+struct MtrmConfig {
+  std::size_t node_count = 0;
+  double side = 0.0;
+  std::size_t steps = 1000;
+  std::size_t iterations = 10;
+  MobilityConfig mobility{};
+
+  /// The time fractions f whose minimum range r_f is solved (the paper's
+  /// r100 / r90 / r10).
+  std::vector<double> time_fractions{1.0, 0.9, 0.1};
+
+  /// The component fractions phi whose minimum range rl_phi (mean largest
+  /// component >= phi * n) is solved (the paper's rl90 / rl75 / rl50).
+  std::vector<double> component_fractions{0.9, 0.75, 0.5};
+
+  /// Throws ConfigError when inconsistent.
+  void validate() const;
+};
+
+/// Aggregated MTRM solution: one RunningStats per requested quantity,
+/// accumulated across iterations (each iteration contributes the exact value
+/// computed from its own trace, as the paper averages per-simulation values).
+struct MtrmResult {
+  std::vector<double> time_fractions;
+  std::vector<double> component_fractions;
+
+  /// r_f per time fraction (aligned with time_fractions).
+  std::vector<RunningStats> range_for_time;
+  /// r0: largest range with zero connected steps.
+  RunningStats range_never_connected;
+  /// rl_phi per component fraction (aligned with component_fractions).
+  std::vector<RunningStats> range_for_component;
+
+  /// Mean largest-component fraction over *disconnected* steps, evaluated at
+  /// the iteration's own r_f (aligned with time_fractions) and at its r0 —
+  /// the Figures 4-5 series.
+  std::vector<RunningStats> lcc_at_range_for_time;
+  RunningStats lcc_at_range_never;
+
+  /// Minimum largest-component fraction over all steps at the iteration's
+  /// own r_f.
+  std::vector<RunningStats> min_lcc_at_range_for_time;
+
+  /// Mean per-step critical radius.
+  RunningStats mean_critical_range;
+};
+
+/// Solves MTRM by simulation: runs `iterations` independent mobile traces and
+/// extracts every requested range exactly from the per-step critical radii
+/// and component curves (DESIGN.md §2). Each iteration draws its randomness
+/// from an independent substream of `rng`.
+template <int D>
+MtrmResult solve_mtrm(const MtrmConfig& config, Rng& rng) {
+  config.validate();
+  const Box<D> region(config.side);
+
+  MtrmResult result;
+  result.time_fractions = config.time_fractions;
+  result.component_fractions = config.component_fractions;
+  result.range_for_time.resize(config.time_fractions.size());
+  result.range_for_component.resize(config.component_fractions.size());
+  result.lcc_at_range_for_time.resize(config.time_fractions.size());
+  result.min_lcc_at_range_for_time.resize(config.time_fractions.size());
+
+  for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    Rng iteration_rng = rng.split();
+    const auto model = make_mobility_model<D>(config.mobility, region);
+    const MobileConnectivityTrace trace =
+        run_mobile_trace<D>(config.node_count, region, config.steps, *model, iteration_rng);
+
+    for (std::size_t i = 0; i < config.time_fractions.size(); ++i) {
+      const double r_f = trace.range_for_time_fraction(config.time_fractions[i]);
+      result.range_for_time[i].add(r_f);
+      result.lcc_at_range_for_time[i].add(trace.mean_largest_fraction_when_disconnected(r_f));
+      result.min_lcc_at_range_for_time[i].add(trace.min_largest_fraction_at(r_f));
+    }
+
+    const double r0 = trace.largest_never_connected_range();
+    result.range_never_connected.add(r0);
+    result.lcc_at_range_never.add(trace.mean_largest_fraction_when_disconnected(r0));
+
+    for (std::size_t j = 0; j < config.component_fractions.size(); ++j) {
+      result.range_for_component[j].add(
+          trace.range_for_mean_component_fraction(config.component_fractions[j]));
+    }
+
+    result.mean_critical_range.add(trace.mean_critical_range());
+  }
+  return result;
+}
+
+}  // namespace manet

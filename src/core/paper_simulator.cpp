@@ -1,0 +1,13 @@
+#include "core/paper_simulator.hpp"
+
+namespace manet {
+
+void PaperSimulatorInput::validate() const {
+  if (!(r > 0.0)) throw ConfigError("PaperSimulatorInput: r must be > 0");
+  if (n < 1) throw ConfigError("PaperSimulatorInput: n must be >= 1");
+  if (!(l > 0.0)) throw ConfigError("PaperSimulatorInput: l must be > 0");
+  if (iterations < 1) throw ConfigError("PaperSimulatorInput: iterations must be >= 1");
+  if (steps < 1) throw ConfigError("PaperSimulatorInput: steps must be >= 1");
+}
+
+}  // namespace manet

@@ -1,0 +1,69 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace manet::theory {
+
+double connectivity_threshold_range_1d(double l, double n, double c) {
+  MANET_EXPECTS(l > 1.0);
+  MANET_EXPECTS(n >= 1.0);
+  MANET_EXPECTS(c > 0.0);
+  return c * l * std::log(l) / n;
+}
+
+double worst_case_range(double l, int d) {
+  MANET_EXPECTS(l > 0.0);
+  MANET_EXPECTS(d >= 1 && d <= 3);
+  return l * std::sqrt(static_cast<double>(d));
+}
+
+double best_case_range_1d(double l, double n) {
+  MANET_EXPECTS(l > 0.0);
+  MANET_EXPECTS(n >= 1.0);
+  return l / n;
+}
+
+const char* regime_name(Regime1D regime) {
+  switch (regime) {
+    case Regime1D::kSubcritical:
+      return "subcritical";
+    case Regime1D::kGapRegime:
+      return "gap-regime";
+    case Regime1D::kCritical:
+      return "critical";
+    case Regime1D::kSupercritical:
+      return "supercritical";
+  }
+  return "?";
+}
+
+Regime1D classify_regime_1d(double l, double n, double r, double band) {
+  MANET_EXPECTS(l > 1.0);
+  MANET_EXPECTS(n >= 1.0);
+  MANET_EXPECTS(r > 0.0);
+  MANET_EXPECTS(band >= 1.0);
+
+  const double rn = r * n;
+  const double threshold = l * std::log(l);
+  if (rn <= l / band) return Regime1D::kSubcritical;
+  if (rn < threshold / band) return Regime1D::kGapRegime;
+  if (rn <= threshold * band) return Regime1D::kCritical;
+  return Regime1D::kSupercritical;
+}
+
+double theorem4_epsilon(double delta) {
+  MANET_EXPECTS(delta > 0.0 && delta <= 2.0 * std::numbers::pi);
+  return delta / (2.0 * std::numbers::pi);
+}
+
+double relative_energy(double r_base, double r_reduced, double alpha) {
+  MANET_EXPECTS(r_base > 0.0);
+  MANET_EXPECTS(r_reduced >= 0.0);
+  MANET_EXPECTS(alpha >= 1.0);
+  return std::pow(r_reduced / r_base, alpha);
+}
+
+}  // namespace manet::theory

@@ -1,0 +1,53 @@
+#pragma once
+
+namespace manet {
+
+/// Closed-form results of the paper's Sections 2-3 for stationary networks.
+namespace theory {
+
+/// Theorem 5's threshold shape for d = 1: the communication graph of n
+/// uniform nodes on [0, l] is a.a.s. connected iff r·n ∈ Ω(l log l), i.e.
+/// the critical range scales as c · l · ln(l) / n. `c` is the (theory-free)
+/// leading constant; the benches fit it empirically. Requires l > 1, n >= 1.
+double connectivity_threshold_range_1d(double l, double n, double c = 1.0);
+
+/// Worst-case range for adversarial placements in [0, l]^d: nodes may sit at
+/// opposite corners, so r must reach the region diagonal l * sqrt(d)
+/// (Section 2). Requires l > 0, 1 <= d <= 3.
+double worst_case_range(double l, int d);
+
+/// Best-case range for d = 1: nodes equally spaced at intervals of l/n need
+/// only r = l/n (Section 3's closing remark). Requires l > 0, n >= 1.
+double best_case_range_1d(double l, double n);
+
+/// The asymptotic regimes of the pair (r, n) against the Theorem 5 threshold
+/// in one dimension, mirroring the occupancy domains through C = l / r.
+enum class Regime1D {
+  kSubcritical,   ///< r n << l : even E[#empty cells] ~ C, heavily disconnected
+  kGapRegime,     ///< l << r n << l log l : Theorem 4's regime — NOT a.a.s. connected
+  kCritical,      ///< r n = Theta(l log l) : the threshold band
+  kSupercritical, ///< r n >> l log l : a.a.s. connected with margin
+};
+
+const char* regime_name(Regime1D regime);
+
+/// Heuristic finite-size classification of (l, n, r) into a Regime1D, using
+/// a factor-of-`band` window around the defining scales (default band = 2).
+/// Requires l > 1, n >= 1, r > 0.
+Regime1D classify_regime_1d(double l, double n, double r, double band = 2.0);
+
+/// Theorem 4's positive limit: choosing r = delta * l / e^{f(l)} (with
+/// 1 << f(l) << log l) gives lim P(mu = k̄) = delta / (2*pi) > 0 — the
+/// epsilon that defeats a.a.s. connectivity in the gap regime. Requires
+/// delta in (0, 2*pi].
+double theorem4_epsilon(double delta);
+
+/// Energy-oriented corollary used throughout Section 4: transmit power grows
+/// with the square (or a higher power, the path-loss exponent alpha) of the
+/// range, so the relative energy of operating at range `r_reduced` instead of
+/// `r_base` is (r_reduced / r_base)^alpha. Requires positive ranges and
+/// alpha >= 1.
+double relative_energy(double r_base, double r_reduced, double alpha = 2.0);
+
+}  // namespace theory
+}  // namespace manet

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Uniform spatial hash grid over a Box<D>, used to enumerate all node pairs
+/// within a transmission radius in (near-)linear time instead of O(n^2).
+///
+/// Cells have side >= the query radius, so any pair within the radius lies in
+/// the same or an axis-adjacent cell; `for_each_pair_within` visits each
+/// unordered pair exactly once.
+template <int D>
+class CellGrid {
+ public:
+  /// Builds the grid over `points`, all of which must lie inside `box`.
+  /// `cell_size` is clamped up so the grid never exceeds kMaxCellsPerAxis
+  /// per axis (tiny radii would otherwise allocate huge empty grids).
+  CellGrid(std::span<const Point<D>> points, const Box<D>& box, double cell_size)
+      : side_(box.side()) {
+    MANET_EXPECTS(cell_size > 0.0);
+    // Cap the cell count at ~4x the point count: finer grids only add empty
+    // cells without reducing the number of candidate pairs.
+    std::size_t max_per_axis = kMaxCellsPerAxis;
+    const double budget = 4.0 * static_cast<double>(points.size()) + 64.0;
+    const auto per_axis_budget =
+        static_cast<std::size_t>(std::pow(budget, 1.0 / static_cast<double>(D)));
+    max_per_axis = std::min(max_per_axis, std::max<std::size_t>(1, per_axis_budget));
+
+    cells_per_axis_ = static_cast<std::size_t>(side_ / cell_size);
+    cells_per_axis_ = std::max<std::size_t>(1, std::min(cells_per_axis_, max_per_axis));
+    cell_size_ = side_ / static_cast<double>(cells_per_axis_);
+
+    std::size_t total_cells = 1;
+    for (int i = 0; i < D; ++i) total_cells *= cells_per_axis_;
+
+    // Counting sort of point ids by flattened cell index.
+    cell_start_.assign(total_cells + 1, 0);
+    std::vector<std::size_t> cell_of(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      cell_of[p] = flat_index(cell_coords(points[p]));
+      ++cell_start_[cell_of[p] + 1];
+    }
+    for (std::size_t c = 1; c <= total_cells; ++c) cell_start_[c] += cell_start_[c - 1];
+    point_ids_.resize(points.size());
+    std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+    for (std::size_t p = 0; p < points.size(); ++p) point_ids_[cursor[cell_of[p]]++] = p;
+
+    // Record the non-empty cells so queries never touch the (potentially
+    // huge) set of empty ones.
+    occupied_.reserve(std::min(points.size(), total_cells));
+    for (std::size_t c = 0; c < total_cells; ++c) {
+      if (cell_start_[c + 1] > cell_start_[c]) occupied_.push_back(c);
+    }
+
+    points_ = points;
+  }
+
+  std::size_t cells_per_axis() const noexcept { return cells_per_axis_; }
+  double cell_size() const noexcept { return cell_size_; }
+
+  /// Invokes `fn(i, j, dist2)` once for every unordered pair (i < j) of
+  /// points with squared distance <= radius*radius. Requires
+  /// radius <= cell_size (the construction-time guarantee that adjacent
+  /// cells suffice).
+  template <typename Fn>
+  void for_each_pair_within(double radius, Fn&& fn) const {
+    MANET_EXPECTS(radius > 0.0);
+    // A single-cell grid compares every pair, so any radius is valid there.
+    MANET_EXPECTS(cells_per_axis_ == 1 || radius <= cell_size_ * (1.0 + 1e-9));
+    const double r2 = radius * radius;
+    for (std::size_t flat : occupied_) scan_cell(unflatten(flat), r2, fn);
+  }
+
+ private:
+  static constexpr std::size_t kMaxCellsPerAxis = 1u << 12;
+
+  std::array<std::size_t, D> cell_coords(const Point<D>& p) const noexcept {
+    std::array<std::size_t, D> c{};
+    for (int i = 0; i < D; ++i) {
+      const double x = p.coords[i] / cell_size_;
+      auto idx = static_cast<std::size_t>(x < 0.0 ? 0.0 : x);
+      c[i] = std::min(idx, cells_per_axis_ - 1);
+    }
+    return c;
+  }
+
+  std::size_t flat_index(const std::array<std::size_t, D>& c) const noexcept {
+    std::size_t idx = 0;
+    for (int i = D - 1; i >= 0; --i) idx = idx * cells_per_axis_ + c[i];
+    return idx;
+  }
+
+  std::array<std::size_t, D> unflatten(std::size_t flat) const noexcept {
+    std::array<std::size_t, D> c{};
+    for (int i = 0; i < D; ++i) {
+      c[i] = flat % cells_per_axis_;
+      flat /= cells_per_axis_;
+    }
+    return c;
+  }
+
+  std::span<const std::size_t> cell_points(std::size_t flat) const noexcept {
+    return {point_ids_.data() + cell_start_[flat], cell_start_[flat + 1] - cell_start_[flat]};
+  }
+
+  template <typename Fn>
+  void scan_cell(const std::array<std::size_t, D>& cell, double r2, Fn&& fn) const {
+    const auto own = cell_points(flat_index(cell));
+    if (own.empty()) return;
+
+    // Pairs inside the cell itself.
+    for (std::size_t a = 0; a < own.size(); ++a) {
+      for (std::size_t b = a + 1; b < own.size(); ++b) {
+        emit(own[a], own[b], r2, fn);
+      }
+    }
+
+    // Pairs with lexicographically-forward neighbor cells: each unordered
+    // cell pair is processed exactly once.
+    std::array<int, D> offset{};
+    offset.fill(-1);
+    for (;;) {
+      // Advance odometer over {-1,0,1}^D.
+      int axis = 0;
+      while (axis < D) {
+        if (++offset[axis] <= 1) break;
+        offset[axis] = -1;
+        ++axis;
+      }
+      if (axis == D) break;
+      if (!is_forward(offset)) continue;
+
+      std::array<std::size_t, D> other = cell;
+      bool in_grid = true;
+      for (int i = 0; i < D; ++i) {
+        const auto shifted = static_cast<long long>(cell[i]) + offset[i];
+        if (shifted < 0 || shifted >= static_cast<long long>(cells_per_axis_)) {
+          in_grid = false;
+          break;
+        }
+        other[i] = static_cast<std::size_t>(shifted);
+      }
+      if (!in_grid) continue;
+
+      for (std::size_t i : own) {
+        for (std::size_t j : cell_points(flat_index(other))) emit(i, j, r2, fn);
+      }
+    }
+  }
+
+  /// True when `offset` is lexicographically positive (first nonzero
+  /// component, scanning from the highest axis, is +1).
+  static bool is_forward(const std::array<int, D>& offset) noexcept {
+    for (int i = D - 1; i >= 0; --i) {
+      if (offset[i] > 0) return true;
+      if (offset[i] < 0) return false;
+    }
+    return false;  // all-zero offset = own cell, handled separately
+  }
+
+  template <typename Fn>
+  void emit(std::size_t i, std::size_t j, double r2, Fn&& fn) const {
+    const double d2 = squared_distance(points_[i], points_[j]);
+    if (d2 <= r2) {
+      if (i > j) std::swap(i, j);
+      fn(i, j, d2);
+    }
+  }
+
+  std::span<const Point<D>> points_;
+  double side_;
+  double cell_size_ = 0.0;
+  std::size_t cells_per_axis_ = 0;
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> point_ids_;
+  std::vector<std::size_t> occupied_;
+};
+
+}  // namespace manet

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <ostream>
+
+namespace manet {
+
+/// A point in D-dimensional Euclidean space. D is a compile-time constant:
+/// the paper analyses d=1 (Section 3) and simulates d=2 (Section 4); d=3 is
+/// supported throughout as an extension.
+template <int D>
+struct Point {
+  static_assert(D >= 1 && D <= 3, "the library supports 1-, 2- and 3-dimensional regions");
+
+  std::array<double, D> coords{};
+
+  static constexpr int dimension = D;
+
+  constexpr double& operator[](std::size_t axis) { return coords[axis]; }
+  constexpr double operator[](std::size_t axis) const { return coords[axis]; }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) = default;
+
+  constexpr Point& operator+=(const Point& o) {
+    for (int i = 0; i < D; ++i) coords[i] += o.coords[i];
+    return *this;
+  }
+  constexpr Point& operator-=(const Point& o) {
+    for (int i = 0; i < D; ++i) coords[i] -= o.coords[i];
+    return *this;
+  }
+  constexpr Point& operator*=(double s) {
+    for (int i = 0; i < D; ++i) coords[i] *= s;
+    return *this;
+  }
+
+  friend constexpr Point operator+(Point a, const Point& b) { return a += b; }
+  friend constexpr Point operator-(Point a, const Point& b) { return a -= b; }
+  friend constexpr Point operator*(Point a, double s) { return a *= s; }
+  friend constexpr Point operator*(double s, Point a) { return a *= s; }
+};
+
+using Point1 = Point<1>;
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops; the point-graph
+/// edge test `dist <= r` is done as `dist2 <= r*r`).
+template <int D>
+constexpr double squared_distance(const Point<D>& a, const Point<D>& b) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double d = a.coords[i] - b.coords[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Euclidean distance.
+template <int D>
+double distance(const Point<D>& a, const Point<D>& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// Squared Euclidean norm.
+template <int D>
+constexpr double squared_norm(const Point<D>& p) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) sum += p.coords[i] * p.coords[i];
+  return sum;
+}
+
+/// Euclidean norm.
+template <int D>
+double norm(const Point<D>& p) {
+  return std::sqrt(squared_norm(p));
+}
+
+/// The smallest double r with r*r >= d2: converts a squared distance into a
+/// transmitting range that provably includes the pair under the library's
+/// `dist2 <= r*r` edge test. Plain sqrt can round down by one ulp, making
+/// "connected at exactly the critical range" false; every range derived from
+/// a distance (MST edge weights, critical radii) goes through this.
+inline double covering_radius(double squared) {
+  double r = std::sqrt(squared);
+  while (r * r < squared) {
+    r = std::nextafter(r, std::numeric_limits<double>::infinity());
+  }
+  return r;
+}
+
+template <int D>
+std::ostream& operator<<(std::ostream& out, const Point<D>& p) {
+  out << '(';
+  for (int i = 0; i < D; ++i) {
+    if (i > 0) out << ", ";
+    out << p.coords[i];
+  }
+  return out << ')';
+}
+
+}  // namespace manet

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/point.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// EXTENSION (not in the paper): the flat torus metric on [0, l]^D —
+/// distances wrap around the region edges. Comparing critical ranges under
+/// the Euclidean and torus metrics isolates the *boundary effect*: on the
+/// torus there are no sparse corners, so the gap between the two quantifies
+/// how much of the required transmitting range is spent bridging
+/// border-induced voids (see bench/ablation_boundary).
+template <int D>
+double torus_squared_distance(const Point<D>& a, const Point<D>& b, double side) {
+  MANET_EXPECTS(side > 0.0);
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double d = std::abs(a.coords[i] - b.coords[i]);
+    d = std::min(d, side - d);
+    sum += d * d;
+  }
+  return sum;
+}
+
+template <int D>
+double torus_distance(const Point<D>& a, const Point<D>& b, double side) {
+  return std::sqrt(torus_squared_distance(a, b, side));
+}
+
+}  // namespace manet

@@ -1,0 +1,95 @@
+#include "graph/adjacency.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+AdjacencyGraph::AdjacencyGraph(std::size_t n,
+                               std::span<const std::pair<std::size_t, std::size_t>> edges)
+    : offsets_(n + 1, 0) {
+  for (const auto& [u, v] : edges) {
+    MANET_EXPECTS(u < n && v < n);
+    MANET_EXPECTS(u != v);
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+
+  neighbors_.resize(2 * edges.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors_[cursor[u]++] = v;
+    neighbors_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    auto begin = neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto end = neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(begin, end);
+    MANET_EXPECTS(std::adjacent_find(begin, end) == end);  // no parallel edges
+  }
+}
+
+std::span<const std::size_t> AdjacencyGraph::neighbors(std::size_t v) const {
+  MANET_EXPECTS(v + 1 < offsets_.size());
+  return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t AdjacencyGraph::degree(std::size_t v) const {
+  MANET_EXPECTS(v + 1 < offsets_.size());
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::vector<std::size_t> bfs_distances(const AdjacencyGraph& graph, std::size_t source) {
+  constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+  MANET_EXPECTS(source < graph.vertex_count());
+
+  std::vector<std::size_t> dist(graph.vertex_count(), kUnreached);
+  std::queue<std::size_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (std::size_t w : graph.neighbors(v)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t reachable_count(const AdjacencyGraph& graph, std::size_t source) {
+  const auto dist = bfs_distances(graph, source);
+  return static_cast<std::size_t>(
+      std::count_if(dist.begin(), dist.end(), [](std::size_t d) {
+        return d != std::numeric_limits<std::size_t>::max();
+      }));
+}
+
+std::size_t eccentricity(const AdjacencyGraph& graph, std::size_t source) {
+  const auto dist = bfs_distances(graph, source);
+  std::size_t ecc = 0;
+  for (std::size_t d : dist) {
+    if (d != std::numeric_limits<std::size_t>::max()) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::size_t component_diameter(const AdjacencyGraph& graph, std::size_t source) {
+  const auto dist = bfs_distances(graph, source);
+  std::size_t diameter = 0;
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    if (dist[v] != std::numeric_limits<std::size_t>::max()) {
+      diameter = std::max(diameter, eccentricity(graph, v));
+    }
+  }
+  return diameter;
+}
+
+}  // namespace manet

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace manet {
+
+/// Immutable undirected graph in compressed-sparse-row form. Built once from
+/// an edge list; neighbor enumeration is a contiguous scan, which keeps BFS
+/// over thousands of simulated communication graphs cheap.
+class AdjacencyGraph {
+ public:
+  /// Builds from undirected edges over vertices [0, n). Parallel edges and
+  /// self-loops are rejected via precondition checks.
+  AdjacencyGraph(std::size_t n, std::span<const std::pair<std::size_t, std::size_t>> edges);
+
+  std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
+  std::size_t edge_count() const noexcept { return neighbors_.size() / 2; }
+
+  /// Neighbors of v in ascending order.
+  std::span<const std::size_t> neighbors(std::size_t v) const;
+
+  std::size_t degree(std::size_t v) const;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> neighbors_;
+};
+
+/// Breadth-first search from `source`; returns the hop distance to every
+/// vertex (SIZE_MAX for unreachable vertices).
+std::vector<std::size_t> bfs_distances(const AdjacencyGraph& graph, std::size_t source);
+
+/// Number of vertices reachable from `source` (including itself).
+std::size_t reachable_count(const AdjacencyGraph& graph, std::size_t source);
+
+/// Longest shortest-path (in hops) within `source`'s component.
+std::size_t eccentricity(const AdjacencyGraph& graph, std::size_t source);
+
+/// Diameter in hops of the component containing `source` (exact, via BFS from
+/// every vertex of that component).
+std::size_t component_diameter(const AdjacencyGraph& graph, std::size_t source);
+
+}  // namespace manet

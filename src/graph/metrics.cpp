@@ -1,0 +1,63 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace manet {
+
+DegreeStats degree_stats(const AdjacencyGraph& graph) {
+  DegreeStats stats;
+  const std::size_t n = graph.vertex_count();
+  if (n == 0) return stats;
+
+  stats.min_degree = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t d = graph.degree(v);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    total += d;
+    if (d == 0) ++stats.isolated_count;
+  }
+  stats.mean_degree = static_cast<double>(total) / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::size_t> degree_histogram(const AdjacencyGraph& graph) {
+  std::vector<std::size_t> hist;
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    const std::size_t d = graph.degree(v);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+std::vector<std::size_t> component_sizes(const AdjacencyGraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> sizes;
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    std::size_t size = 0;
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (std::size_t w : graph.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+}  // namespace manet

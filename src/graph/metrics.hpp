@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace manet {
+
+/// Degree statistics of a communication graph. The minimum degree upper-
+/// bounds connectivity (an isolated node — degree 0 — disconnects the graph,
+/// the disconnection mode analysed in [11] and refined by this paper).
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t isolated_count = 0;
+};
+
+DegreeStats degree_stats(const AdjacencyGraph& graph);
+
+/// Histogram of vertex degrees: index d holds the number of vertices with
+/// degree d.
+std::vector<std::size_t> degree_histogram(const AdjacencyGraph& graph);
+
+/// Sizes of all connected components, descending.
+std::vector<std::size_t> component_sizes(const AdjacencyGraph& graph);
+
+}  // namespace manet

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/cell_grid.hpp"
+#include "geometry/point.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/union_find.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Structural summary of a communication graph: everything the paper's
+/// simulator reports per generated graph ("the percentage of connected
+/// graphs, the average size of the largest connected component, ...") plus
+/// the isolated-node census behind its observation that "disconnection is
+/// caused by only a few isolated nodes".
+struct ComponentSummary {
+  std::size_t node_count = 0;
+  std::size_t component_count = 0;
+  std::size_t largest_size = 0;
+  std::size_t isolated_count = 0;
+
+  /// A graph on zero or one nodes is vacuously connected.
+  bool connected() const noexcept { return component_count <= 1; }
+
+  /// Largest component size as a fraction of n (1.0 for empty graphs).
+  double largest_fraction() const noexcept {
+    if (node_count == 0) return 1.0;
+    return static_cast<double>(largest_size) / static_cast<double>(node_count);
+  }
+};
+
+/// Enumerates the edges of the communication graph: (u, v) is an edge iff
+/// the Euclidean distance between u and v is at most `radius` (the paper's
+/// point-graph / unit-disk model with common transmitting range r).
+template <int D>
+std::vector<std::pair<std::size_t, std::size_t>> proximity_edges(
+    std::span<const Point<D>> points, const Box<D>& box, double radius) {
+  MANET_EXPECTS(radius > 0.0);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (points.size() < 2) return edges;
+  const CellGrid<D> grid(points, box, radius);
+  grid.for_each_pair_within(radius,
+                            [&](std::size_t i, std::size_t j, double) { edges.emplace_back(i, j); });
+  return edges;
+}
+
+/// Builds the full CSR communication graph (needed when per-node degrees or
+/// hop distances are required, e.g. by the examples and metrics).
+template <int D>
+AdjacencyGraph build_communication_graph(std::span<const Point<D>> points, const Box<D>& box,
+                                         double radius) {
+  const auto edges = proximity_edges(points, box, radius);
+  return AdjacencyGraph(points.size(), edges);
+}
+
+/// Computes connectivity structure without materializing the graph: a single
+/// grid sweep feeding a union-find plus a degree census. This is the hot path
+/// of the mobile simulator (one call per mobility step per candidate range).
+template <int D>
+ComponentSummary analyze_components(std::span<const Point<D>> points, const Box<D>& box,
+                                    double radius) {
+  MANET_EXPECTS(radius > 0.0);
+  ComponentSummary summary;
+  summary.node_count = points.size();
+  if (points.empty()) return summary;
+
+  UnionFind dsu(points.size());
+  std::vector<std::size_t> degree(points.size(), 0);
+  const CellGrid<D> grid(points, box, radius);
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j, double) {
+    dsu.unite(i, j);
+    ++degree[i];
+    ++degree[j];
+  });
+
+  summary.component_count = dsu.component_count();
+  summary.largest_size = dsu.largest_component_size();
+  for (std::size_t d : degree) {
+    if (d == 0) ++summary.isolated_count;
+  }
+  return summary;
+}
+
+}  // namespace manet

@@ -1,0 +1,200 @@
+#include "graph/robustness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+/// Iterative Tarjan DFS computing discovery times and low-links; collects
+/// articulation points and/or bridges.
+struct LowLinkDfs {
+  const AdjacencyGraph& graph;
+  std::vector<std::size_t> discovery;
+  std::vector<std::size_t> low;
+  std::vector<std::size_t> parent;
+  std::vector<bool> is_articulation;
+  std::vector<std::pair<std::size_t, std::size_t>> bridge_edges;
+  std::size_t clock = 0;
+
+  explicit LowLinkDfs(const AdjacencyGraph& g)
+      : graph(g),
+        discovery(g.vertex_count(), kUnvisited),
+        low(g.vertex_count(), 0),
+        parent(g.vertex_count(), kUnvisited),
+        is_articulation(g.vertex_count(), false) {}
+
+  void run() {
+    for (std::size_t root = 0; root < graph.vertex_count(); ++root) {
+      if (discovery[root] == kUnvisited) visit_component(root);
+    }
+  }
+
+ private:
+  struct Frame {
+    std::size_t vertex;
+    std::size_t next_neighbor_index;
+  };
+
+  void visit_component(std::size_t root) {
+    std::vector<Frame> stack;
+    std::size_t root_children = 0;
+
+    discovery[root] = low[root] = clock++;
+    stack.push_back({root, 0});
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::size_t v = frame.vertex;
+      const auto neighbors = graph.neighbors(v);
+
+      if (frame.next_neighbor_index < neighbors.size()) {
+        const std::size_t w = neighbors[frame.next_neighbor_index++];
+        if (discovery[w] == kUnvisited) {
+          parent[w] = v;
+          if (v == root) ++root_children;
+          discovery[w] = low[w] = clock++;
+          stack.push_back({w, 0});
+        } else if (w != parent[v]) {
+          low[v] = std::min(low[v], discovery[w]);
+        }
+        continue;
+      }
+
+      // All neighbors of v processed: propagate the low-link to the parent
+      // and apply the articulation / bridge criteria.
+      stack.pop_back();
+      if (parent[v] != kUnvisited) {
+        const std::size_t p = parent[v];
+        low[p] = std::min(low[p], low[v]);
+        if (low[v] >= discovery[p] && p != root) is_articulation[p] = true;
+        if (low[v] > discovery[p]) {
+          bridge_edges.emplace_back(std::min(p, v), std::max(p, v));
+        }
+      }
+    }
+
+    // Root rule: the DFS root is an articulation point iff it has more
+    // than one DFS child.
+    is_articulation[root] = root_children > 1;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> articulation_points(const AdjacencyGraph& graph) {
+  LowLinkDfs dfs(graph);
+  dfs.run();
+  std::vector<std::size_t> points;
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    if (dfs.is_articulation[v]) points.push_back(v);
+  }
+  return points;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> bridges(const AdjacencyGraph& graph) {
+  LowLinkDfs dfs(graph);
+  dfs.run();
+  std::sort(dfs.bridge_edges.begin(), dfs.bridge_edges.end());
+  return dfs.bridge_edges;
+}
+
+bool survives_any_single_failure(const AdjacencyGraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  if (n <= 1) return true;
+  if (reachable_count(graph, 0) != n) return false;
+  if (n == 2) return true;  // removing either leaves a single (connected) node
+  return articulation_points(graph).empty();
+}
+
+FailureReport inject_failures(const AdjacencyGraph& graph,
+                              const std::vector<std::size_t>& failure_order) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<bool> failed(n, false);
+  for (std::size_t v : failure_order) {
+    MANET_EXPECTS(v < n);
+    MANET_EXPECTS(!failed[v]);
+    failed[v] = true;
+  }
+
+  FailureReport report;
+  report.failures_injected = failure_order.size();
+
+  // Recompute survivor connectivity after each removal. O(f * (V + E)) —
+  // fine for the simulated network sizes.
+  const auto survivors_summary = [&](const std::vector<bool>& down) {
+    std::size_t survivor_count = 0;
+    std::size_t first_survivor = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!down[v]) {
+        ++survivor_count;
+        if (first_survivor == n) first_survivor = v;
+      }
+    }
+    if (survivor_count == 0) return std::pair<bool, double>{true, 1.0};
+
+    // BFS over survivors from the first one.
+    std::vector<bool> visited(n, false);
+    std::vector<std::size_t> queue = {first_survivor};
+    visited[first_survivor] = true;
+    std::size_t reached = 0;
+    while (!queue.empty()) {
+      const std::size_t v = queue.back();
+      queue.pop_back();
+      ++reached;
+      for (std::size_t w : graph.neighbors(v)) {
+        if (!down[w] && !visited[w]) {
+          visited[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    // Largest-fraction approximation from the first component is exact for
+    // the connectivity question; for the fraction we take the largest
+    // component over all survivor components.
+    std::size_t largest = reached;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!down[v] && !visited[v]) {
+        std::size_t size = 0;
+        std::vector<std::size_t> inner = {v};
+        visited[v] = true;
+        while (!inner.empty()) {
+          const std::size_t x = inner.back();
+          inner.pop_back();
+          ++size;
+          for (std::size_t w : graph.neighbors(x)) {
+            if (!down[w] && !visited[w]) {
+              visited[w] = true;
+              inner.push_back(w);
+            }
+          }
+        }
+        largest = std::max(largest, size);
+      }
+    }
+    const bool connected = reached == survivor_count;
+    return std::pair<bool, double>{connected,
+                                   static_cast<double>(largest) /
+                                       static_cast<double>(survivor_count)};
+  };
+
+  std::vector<bool> down(n, false);
+  bool disconnected_seen = false;
+  report.failures_survived = failure_order.size();
+  for (std::size_t i = 0; i < failure_order.size(); ++i) {
+    down[failure_order[i]] = true;
+    const auto [connected, fraction] = survivors_summary(down);
+    if (!connected && !disconnected_seen) {
+      disconnected_seen = true;
+      report.failures_survived = i;  // survived i removals, the (i+1)-th broke it
+    }
+    if (i + 1 == failure_order.size()) report.final_largest_fraction = fraction;
+  }
+  return report;
+}
+
+}  // namespace manet

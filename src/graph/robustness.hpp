@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace manet {
+
+/// Structural-robustness analysis of communication graphs, supporting the
+/// dependability view of Section 1: a connected network whose connectivity
+/// hangs on one node (an articulation point) or one link (a bridge) is "up"
+/// but fragile. These are computed with Tarjan's linear-time DFS low-link
+/// algorithm.
+
+/// Vertices whose removal increases the number of connected components.
+std::vector<std::size_t> articulation_points(const AdjacencyGraph& graph);
+
+/// Edges whose removal increases the number of connected components,
+/// returned with u < v.
+std::vector<std::pair<std::size_t, std::size_t>> bridges(const AdjacencyGraph& graph);
+
+/// True iff the graph is connected and has no articulation point (i.e. it
+/// is biconnected — survives any single node failure). Graphs with fewer
+/// than 3 vertices: connected <=> every node sees every other.
+bool survives_any_single_failure(const AdjacencyGraph& graph);
+
+/// Summary of a failure-injection run: nodes are removed one at a time and
+/// the remaining graph's connectivity is tracked.
+struct FailureReport {
+  /// Number of removals applied.
+  std::size_t failures_injected = 0;
+  /// Removals survived before the *remaining* nodes first became
+  /// disconnected (equal to failures_injected when never disconnected).
+  std::size_t failures_survived = 0;
+  /// Largest-component fraction of the survivors after all removals.
+  double final_largest_fraction = 1.0;
+};
+
+/// Removes the vertices in `failure_order` (a sequence of distinct vertex
+/// ids) one at a time from the graph and reports when the survivors first
+/// disconnect. The tolerance of random node loss is the dependability
+/// counterpart of the paper's "network is functional if a given fraction of
+/// nodes are connected".
+FailureReport inject_failures(const AdjacencyGraph& graph,
+                              const std::vector<std::size_t>& failure_order);
+
+}  // namespace manet

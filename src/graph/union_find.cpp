@@ -1,0 +1,42 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+UnionFind::UnionFind(std::size_t n) { reset(n); }
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  size_.assign(n, 1);
+  components_ = n;
+  largest_ = n > 0 ? 1 : 0;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  MANET_EXPECTS(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (size_[ra] > largest_) largest_ = size_[ra];
+  --components_;
+  return true;
+}
+
+std::size_t UnionFind::component_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace manet

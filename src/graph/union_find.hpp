@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manet {
+
+/// Disjoint-set forest with union by size and path halving. Tracks the number
+/// of components and the size of the largest one incrementally, which is
+/// exactly what the connectivity observers need after each batch of edge
+/// insertions.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Resets to n singleton components (reusing storage).
+  void reset(std::size_t n);
+
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Representative of x's component. Requires x < size().
+  std::size_t find(std::size_t x);
+
+  /// Merges the components of a and b; returns true when they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Number of elements in x's component.
+  std::size_t component_size(std::size_t x);
+
+  std::size_t component_count() const noexcept { return components_; }
+
+  /// Size of the largest component (0 for an empty structure).
+  std::size_t largest_component_size() const noexcept { return largest_; }
+
+  /// True when every element is in one component (vacuously true for n <= 1).
+  bool all_connected() const noexcept { return components_ <= 1; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_ = 0;
+  std::size_t largest_ = 0;
+};
+
+}  // namespace manet

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/sampling.hpp"
+#include "mobility/mobility_model.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Parameters of the paper's drunkard (non-intentional) model, Section 4.1:
+/// a node is permanently stationary with probability p_stationary; a mobile
+/// node stays put at any given step with probability p_pause; otherwise its
+/// next position "is chosen uniformly at random in the disk of radius m
+/// centered at the current node location" (restricted to the deployment
+/// region; see DESIGN.md convention 3).
+struct DrunkardParams {
+  double p_stationary = 0.0;
+  double p_pause = 0.0;
+  double step_radius = 1.0;  ///< m
+
+  /// Throws ConfigError when the parameters are inconsistent.
+  void validate() const;
+};
+
+/// Drunkard mobility (random, non-intentional movement).
+template <int D>
+class DrunkardModel final : public MobilityModel<D> {
+ public:
+  DrunkardModel(const Box<D>& region, const DrunkardParams& params)
+      : region_(region), params_(params) {
+    params_.validate();
+  }
+
+  void initialize(std::span<const Point<D>> positions, Rng& rng) override {
+    permanently_stationary_.assign(positions.size(), false);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      permanently_stationary_[i] = rng.bernoulli(params_.p_stationary);
+    }
+  }
+
+  void step(std::span<Point<D>> positions, Rng& rng) override {
+    MANET_EXPECTS(positions.size() == permanently_stationary_.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (permanently_stationary_[i]) continue;
+      if (rng.bernoulli(params_.p_pause)) continue;
+      positions[i] = uniform_in_ball_in_box(positions[i], params_.step_radius, region_, rng);
+    }
+  }
+
+  std::string name() const override { return "drunkard"; }
+  std::size_t node_count() const override { return permanently_stationary_.size(); }
+
+  std::size_t stationary_node_count() const {
+    std::size_t count = 0;
+    for (bool s : permanently_stationary_) {
+      if (s) ++count;
+    }
+    return count;
+  }
+
+ private:
+  Box<D> region_;
+  DrunkardParams params_;
+  std::vector<bool> permanently_stationary_;
+};
+
+}  // namespace manet

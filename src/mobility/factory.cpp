@@ -1,0 +1,80 @@
+#include "mobility/factory.hpp"
+
+namespace manet {
+
+void RandomWaypointParams::validate() const {
+  if (!(v_min > 0.0)) throw ConfigError("random waypoint: v_min must be > 0");
+  if (!(v_max >= v_min)) throw ConfigError("random waypoint: v_max must be >= v_min");
+  if (!(p_stationary >= 0.0 && p_stationary <= 1.0)) {
+    throw ConfigError("random waypoint: p_stationary must be in [0, 1]");
+  }
+}
+
+void DrunkardParams::validate() const {
+  if (!(step_radius > 0.0)) throw ConfigError("drunkard: step radius m must be > 0");
+  if (!(p_stationary >= 0.0 && p_stationary <= 1.0)) {
+    throw ConfigError("drunkard: p_stationary must be in [0, 1]");
+  }
+  if (!(p_pause >= 0.0 && p_pause <= 1.0)) {
+    throw ConfigError("drunkard: p_pause must be in [0, 1]");
+  }
+}
+
+void RandomDirectionParams::validate() const {
+  if (!(v_min > 0.0)) throw ConfigError("random direction: v_min must be > 0");
+  if (!(v_max >= v_min)) throw ConfigError("random direction: v_max must be >= v_min");
+  if (!(p_turn >= 0.0 && p_turn <= 1.0)) {
+    throw ConfigError("random direction: p_turn must be in [0, 1]");
+  }
+  if (!(p_stationary >= 0.0 && p_stationary <= 1.0)) {
+    throw ConfigError("random direction: p_stationary must be in [0, 1]");
+  }
+}
+
+const char* mobility_kind_name(MobilityKind kind) {
+  switch (kind) {
+    case MobilityKind::kStationary:
+      return "stationary";
+    case MobilityKind::kRandomWaypoint:
+      return "random-waypoint";
+    case MobilityKind::kDrunkard:
+      return "drunkard";
+    case MobilityKind::kRandomDirection:
+      return "random-direction";
+  }
+  return "?";
+}
+
+MobilityKind parse_mobility_kind(const std::string& text) {
+  if (text == "stationary") return MobilityKind::kStationary;
+  if (text == "waypoint" || text == "random-waypoint") return MobilityKind::kRandomWaypoint;
+  if (text == "drunkard") return MobilityKind::kDrunkard;
+  if (text == "direction" || text == "random-direction") {
+    return MobilityKind::kRandomDirection;
+  }
+  throw ConfigError("unknown mobility model '" + text +
+                    "' (expected stationary|waypoint|drunkard|direction)");
+}
+
+MobilityConfig MobilityConfig::paper_waypoint(double l) {
+  MobilityConfig config;
+  config.kind = MobilityKind::kRandomWaypoint;
+  config.waypoint.p_stationary = 0.0;
+  config.waypoint.v_min = 0.1;
+  config.waypoint.v_max = 0.01 * l;
+  config.waypoint.pause_steps = 2000;
+  return config;
+}
+
+MobilityConfig MobilityConfig::paper_drunkard(double l) {
+  MobilityConfig config;
+  config.kind = MobilityKind::kDrunkard;
+  config.drunkard.p_stationary = 0.1;
+  config.drunkard.p_pause = 0.3;
+  config.drunkard.step_radius = 0.01 * l;
+  return config;
+}
+
+MobilityConfig MobilityConfig::stationary() { return MobilityConfig{}; }
+
+}  // namespace manet

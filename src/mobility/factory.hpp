@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geometry/box.hpp"
+#include "mobility/drunkard.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/stationary.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Which mobility model to instantiate.
+enum class MobilityKind {
+  kStationary,
+  kRandomWaypoint,
+  kDrunkard,
+  kRandomDirection,  ///< extension, not in the paper
+};
+
+const char* mobility_kind_name(MobilityKind kind);
+
+/// Parses "stationary" / "waypoint" / "drunkard" / "direction"; throws
+/// ConfigError otherwise. Used by the bench/example command lines.
+MobilityKind parse_mobility_kind(const std::string& text);
+
+/// Union of all model parameters plus the model selector; the single
+/// value-type handle used by the experiment layer so entire experiment
+/// configurations stay copyable and printable.
+struct MobilityConfig {
+  MobilityKind kind = MobilityKind::kStationary;
+  RandomWaypointParams waypoint{};
+  DrunkardParams drunkard{};
+  RandomDirectionParams direction{};
+
+  /// The paper's "moderate mobility" random waypoint defaults (Section 4.2):
+  /// p_stationary = 0, v_min = 0.1, v_max = 0.01*l, t_pause = 2000.
+  static MobilityConfig paper_waypoint(double l);
+
+  /// The paper's drunkard defaults (Section 4.2): p_stationary = 0.1,
+  /// p_pause = 0.3, m = 0.01*l.
+  static MobilityConfig paper_drunkard(double l);
+
+  static MobilityConfig stationary();
+};
+
+/// Instantiates the configured model over `region`.
+template <int D>
+std::unique_ptr<MobilityModel<D>> make_mobility_model(const MobilityConfig& config,
+                                                      const Box<D>& region) {
+  switch (config.kind) {
+    case MobilityKind::kStationary:
+      return std::make_unique<StationaryModel<D>>();
+    case MobilityKind::kRandomWaypoint:
+      return std::make_unique<RandomWaypointModel<D>>(region, config.waypoint);
+    case MobilityKind::kDrunkard:
+      return std::make_unique<DrunkardModel<D>>(region, config.drunkard);
+    case MobilityKind::kRandomDirection:
+      return std::make_unique<RandomDirectionModel<D>>(region, config.direction);
+  }
+  throw ConfigError("unknown mobility kind");
+}
+
+}  // namespace manet

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "geometry/point.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+
+/// A node mobility pattern over the deployment region. One simulator step
+/// moves every (mobile, non-paused) node once, matching the paper's
+/// step-indexed models: "t_pause is expressed as the number of mobility steps
+/// for which the node must remain stationary"; "if a node is moving at step
+/// i, its position in step i+1 is chosen ...".
+///
+/// Models hold per-node state (destinations, pause counters, the permanently
+/// stationary subset); `initialize` must be called with the initial placement
+/// before the first `step`.
+template <int D>
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Sets up per-node state for `positions.size()` nodes. Draws (e.g. the
+  /// permanently-stationary subset) come from `rng`.
+  virtual void initialize(std::span<const Point<D>> positions, Rng& rng) = 0;
+
+  /// Advances every node by one mobility step, updating `positions` in
+  /// place. All resulting positions remain inside the deployment region.
+  virtual void step(std::span<Point<D>> positions, Rng& rng) = 0;
+
+  /// Human-readable model name for logs and bench output.
+  virtual std::string name() const = 0;
+
+  /// Number of nodes this model was initialized for (0 before initialize).
+  virtual std::size_t node_count() const = 0;
+};
+
+}  // namespace manet

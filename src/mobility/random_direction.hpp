@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/sampling.hpp"
+#include "mobility/mobility_model.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// EXTENSION (not in the paper): the random direction model. Nodes pick a
+/// uniform direction and speed, travel in a straight line reflecting off the
+/// region boundary, and re-draw direction/speed with probability p_turn per
+/// step. Included to stress the paper's claim that connectivity depends on
+/// the "quantity of mobility" rather than the specific motion pattern.
+struct RandomDirectionParams {
+  double v_min = 0.1;
+  double v_max = 1.0;
+  double p_turn = 0.01;       ///< per-step probability of re-drawing course
+  double p_stationary = 0.0;  ///< probability a node never moves
+
+  /// Throws ConfigError when the parameters are inconsistent.
+  void validate() const;
+};
+
+template <int D>
+class RandomDirectionModel final : public MobilityModel<D> {
+ public:
+  RandomDirectionModel(const Box<D>& region, const RandomDirectionParams& params)
+      : region_(region), params_(params) {
+    params_.validate();
+  }
+
+  void initialize(std::span<const Point<D>> positions, Rng& rng) override {
+    nodes_.assign(positions.size(), NodeState{});
+    for (NodeState& node : nodes_) {
+      node.permanently_stationary = rng.bernoulli(params_.p_stationary);
+      if (!node.permanently_stationary) draw_course(node, rng);
+    }
+  }
+
+  void step(std::span<Point<D>> positions, Rng& rng) override {
+    MANET_EXPECTS(positions.size() == nodes_.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      NodeState& node = nodes_[i];
+      if (node.permanently_stationary) continue;
+      if (rng.bernoulli(params_.p_turn)) draw_course(node, rng);
+
+      Point<D>& pos = positions[i];
+      pos += node.velocity;
+      reflect(pos, node.velocity);
+    }
+  }
+
+  std::string name() const override { return "random-direction"; }
+  std::size_t node_count() const override { return nodes_.size(); }
+
+ private:
+  struct NodeState {
+    bool permanently_stationary = false;
+    Point<D> velocity{};
+  };
+
+  void draw_course(NodeState& node, Rng& rng) {
+    const double speed = rng.uniform(params_.v_min, params_.v_max);
+    node.velocity = uniform_direction<D>(rng) * speed;
+  }
+
+  /// Mirrors the position back into the region, flipping the velocity
+  /// component on each reflected axis. A single pass suffices because one
+  /// step never exceeds the region size (enforced by params validation
+  /// against typical v_max << l; we still loop for robustness).
+  void reflect(Point<D>& pos, Point<D>& velocity) const {
+    for (int axis = 0; axis < D; ++axis) {
+      double& x = pos.coords[axis];
+      while (x < 0.0 || x > region_.side()) {
+        if (x < 0.0) {
+          x = -x;
+          velocity.coords[axis] = -velocity.coords[axis];
+        } else {
+          x = 2.0 * region_.side() - x;
+          velocity.coords[axis] = -velocity.coords[axis];
+        }
+      }
+    }
+  }
+
+  Box<D> region_;
+  RandomDirectionParams params_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace manet

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "mobility/mobility_model.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Parameters of the random waypoint model [Johnson & Maltz 1996], as used in
+/// the paper's Section 4.1: "every node chooses uniformly at random a
+/// destination in [0,l]^d, and moves toward it with a velocity chosen
+/// uniformly at random in [v_min, v_max]. When it reaches the destination, it
+/// remains stationary for a predefined pause time t_pause, then starts moving
+/// again"; additionally each node is permanently stationary with probability
+/// p_stationary. Velocities are in units of distance per mobility step.
+struct RandomWaypointParams {
+  double v_min = 0.1;
+  double v_max = 1.0;
+  std::size_t pause_steps = 0;     ///< t_pause
+  double p_stationary = 0.0;       ///< probability a node never moves
+
+  /// Throws ConfigError when the parameters are inconsistent.
+  void validate() const;
+};
+
+/// Random waypoint mobility (intentional movement).
+template <int D>
+class RandomWaypointModel final : public MobilityModel<D> {
+ public:
+  RandomWaypointModel(const Box<D>& region, const RandomWaypointParams& params)
+      : region_(region), params_(params) {
+    params_.validate();
+  }
+
+  void initialize(std::span<const Point<D>> positions, Rng& rng) override {
+    nodes_.assign(positions.size(), NodeState{});
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      NodeState& node = nodes_[i];
+      node.permanently_stationary = rng.bernoulli(params_.p_stationary);
+      if (!node.permanently_stationary) {
+        start_new_leg(node, positions[i], rng);
+      }
+    }
+  }
+
+  void step(std::span<Point<D>> positions, Rng& rng) override {
+    MANET_EXPECTS(positions.size() == nodes_.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      NodeState& node = nodes_[i];
+      if (node.permanently_stationary) continue;
+
+      if (node.pause_remaining > 0) {
+        --node.pause_remaining;
+        if (node.pause_remaining == 0) start_new_leg(node, positions[i], rng);
+        continue;
+      }
+
+      Point<D>& pos = positions[i];
+      const double dist = distance(pos, node.destination);
+      if (dist <= node.speed) {
+        // Arrive this step, then pause (possibly 0 steps).
+        pos = node.destination;
+        if (params_.pause_steps > 0) {
+          node.pause_remaining = params_.pause_steps;
+        } else {
+          start_new_leg(node, pos, rng);
+        }
+      } else {
+        const double scale = node.speed / dist;
+        pos += (node.destination - pos) * scale;
+      }
+    }
+  }
+
+  std::string name() const override { return "random-waypoint"; }
+  std::size_t node_count() const override { return nodes_.size(); }
+
+  /// Number of nodes drawn as permanently stationary (for tests and the
+  /// Figure 7 p_stationary sweeps).
+  std::size_t stationary_node_count() const {
+    std::size_t count = 0;
+    for (const NodeState& node : nodes_) {
+      if (node.permanently_stationary) ++count;
+    }
+    return count;
+  }
+
+ private:
+  struct NodeState {
+    bool permanently_stationary = false;
+    Point<D> destination{};
+    double speed = 0.0;
+    std::size_t pause_remaining = 0;
+  };
+
+  void start_new_leg(NodeState& node, const Point<D>& from, Rng& rng) {
+    node.destination = region_.sample(rng);
+    node.speed = rng.uniform(params_.v_min, params_.v_max);
+    node.pause_remaining = 0;
+    // A zero-length leg (destination == current position) degenerates into
+    // arrival on the next step, which the step() logic already handles.
+    (void)from;
+  }
+
+  Box<D> region_;
+  RandomWaypointParams params_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace manet

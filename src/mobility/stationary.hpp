@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+
+#include "mobility/mobility_model.hpp"
+
+namespace manet {
+
+/// The degenerate no-movement model: the paper's stationary case
+/// ("setting #steps = 1 corresponds to the stationary case"). Useful for
+/// running the mobile pipeline on stationary networks and in tests.
+template <int D>
+class StationaryModel final : public MobilityModel<D> {
+ public:
+  void initialize(std::span<const Point<D>> positions, Rng&) override {
+    node_count_ = positions.size();
+  }
+
+  void step(std::span<Point<D>>, Rng&) override {}
+
+  std::string name() const override { return "stationary"; }
+  std::size_t node_count() const override { return node_count_; }
+
+ private:
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace manet

@@ -1,0 +1,104 @@
+#include "occupancy/exact_1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "occupancy/occupancy.hpp"
+#include "support/error.hpp"
+
+namespace manet::exact_1d {
+namespace {
+
+/// Compensated (Kahan) accumulator in long double: the series alternates,
+/// and for n in the hundreds the leading binomials are astronomically large
+/// in log space; we therefore keep every term in log form and only sum the
+/// signed exponentials, which stay within [0, C(n-1, j)] * 1 and decay once
+/// j r / l approaches 1.
+struct KahanSum {
+  long double sum = 0.0L;
+  long double compensation = 0.0L;
+
+  void add(long double value) {
+    const long double y = value - compensation;
+    const long double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+};
+
+}  // namespace
+
+double probability_connected(std::uint64_t n, double r, double l) {
+  MANET_EXPECTS(n >= 1);
+  MANET_EXPECTS(l > 0.0);
+  MANET_EXPECTS(r >= 0.0);
+
+  if (n == 1) return 1.0;  // a single node is vacuously connected
+  if (r >= l) return 1.0;  // every gap fits
+  if (r <= 0.0) return 0.0;
+
+  const double ratio = r / l;
+  const auto gaps = n - 1;  // interior spacings
+  KahanSum sum;
+  long double max_term = 0.0L;
+  for (std::uint64_t j = 0; ; ++j) {
+    const double remaining = 1.0 - static_cast<double>(j) * ratio;
+    if (remaining <= 0.0 || j > gaps) break;
+    const double log_term = occupancy::log_binomial(gaps, j) +
+                            static_cast<double>(n) * std::log(remaining);
+    const long double term = std::exp(static_cast<long double>(log_term));
+    max_term = std::max(max_term, term);
+    sum.add(j % 2 == 0 ? term : -term);
+  }
+  // Cancellation guards. Intermediate terms larger than 1 only occur in the
+  // subcritical regime (for r at or above the coverage scale l ln(n)/n every
+  // term is bounded by 1), where the true probability is numerically zero.
+  // Beyond ~1e15 the alternating sum cannot resolve a value in [0, 1] at
+  // all; below that, anything smaller than the accumulated rounding noise is
+  // indistinguishable from zero.
+  const long double p = sum.sum;
+  if (max_term > 1e15L) return 0.0;
+  if (p < max_term * 1e-12L) return 0.0;
+  if (p > 1.0L) return 1.0;
+  return static_cast<double>(p);
+}
+
+double range_for_probability(std::uint64_t n, double p, double l) {
+  MANET_EXPECTS(n >= 2);
+  MANET_EXPECTS(p > 0.0 && p < 1.0);
+  MANET_EXPECTS(l > 0.0);
+
+  double lo = 0.0;
+  double hi = l;
+  // 64 halvings: resolution l * 2^-64, far below double noise on any l used.
+  for (int iteration = 0; iteration < 64 && hi - lo > 1e-15 * l; ++iteration) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (probability_connected(n, mid, l) >= p) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double expected_critical_range(std::uint64_t n, double l) {
+  MANET_EXPECTS(n >= 2);
+  MANET_EXPECTS(l > 0.0);
+
+  // E[max gap] = integral_0^l (1 - CDF(r)) dr, with the integrand smooth and
+  // monotone; composite Simpson on a fixed fine grid is plenty (the result
+  // feeds comparisons, not further analysis).
+  const int intervals = 2048;  // even
+  const double h = l / intervals;
+  double total = 0.0;
+  for (int i = 0; i <= intervals; ++i) {
+    const double r = h * i;
+    const double integrand = 1.0 - probability_connected(n, r, l);
+    const double weight = (i == 0 || i == intervals) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    total += weight * integrand;
+  }
+  return total * h / 3.0;
+}
+
+}  // namespace manet::exact_1d

@@ -1,0 +1,81 @@
+#include "occupancy/gap_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "occupancy/occupancy.hpp"
+#include "support/error.hpp"
+
+namespace manet::gap_pattern {
+
+std::vector<bool> occupancy_bits(std::span<const Point1> nodes, double l, std::size_t C) {
+  MANET_EXPECTS(l > 0.0);
+  MANET_EXPECTS(C >= 1);
+  std::vector<bool> bits(C, false);
+  const double cell_len = l / static_cast<double>(C);
+  for (const Point1& p : nodes) {
+    const double x = p.coords[0];
+    MANET_EXPECTS(x >= 0.0 && x <= l);
+    const auto cell = std::min(static_cast<std::size_t>(x / cell_len), C - 1);
+    bits[cell] = true;
+  }
+  return bits;
+}
+
+bool has_gap_pattern(const std::vector<bool>& bits) {
+  bool seen_one = false;
+  bool gap_open = false;
+  for (bool bit : bits) {
+    if (bit) {
+      if (gap_open) return true;  // 1 ... 0+ ... 1
+      seen_one = true;
+    } else if (seen_one) {
+      gap_open = true;
+    }
+  }
+  return false;
+}
+
+bool ones_are_consecutive(const std::vector<bool>& bits) { return !has_gap_pattern(bits); }
+
+double pattern_probability_given_empty(std::uint64_t C, std::uint64_t k) {
+  MANET_EXPECTS(C >= 1);
+  MANET_EXPECTS(k <= C);
+  if (k == 0) return 0.0;  // no empty cell, no pattern
+  if (k == C) return 0.0;  // no occupied cell, no pattern
+  // log((k+1) / C(C,k)), evaluated in log space for large C.
+  const double log_p_consecutive =
+      std::log(static_cast<double>(k) + 1.0) - occupancy::log_binomial(C, k);
+  const double p_consecutive = std::exp(log_p_consecutive);
+  return 1.0 - std::min(1.0, p_consecutive);
+}
+
+double pattern_probability(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  const auto pmf = occupancy::empty_cells_distribution(n, C);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= C; ++k) {
+    const double p = pmf[static_cast<std::size_t>(k)];
+    if (p == 0.0) continue;
+    total += pattern_probability_given_empty(C, k) * p;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double pattern_probability_monte_carlo(std::uint64_t n, std::size_t C, std::size_t trials,
+                                       Rng& rng) {
+  MANET_EXPECTS(C >= 1);
+  MANET_EXPECTS(trials >= 1);
+  // Cell membership of a uniform point on [0, l) is a uniform cell index, so
+  // the line length cancels; draw cell indices directly.
+  std::size_t hits = 0;
+  std::vector<bool> bits(C);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(bits.begin(), bits.end(), false);
+    for (std::uint64_t i = 0; i < n; ++i) bits[rng.uniform_index(C)] = true;
+    if (has_gap_pattern(bits)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace manet::gap_pattern

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+
+/// Lemma 1 / Lemma 2 machinery: the occupancy bit-string view of a 1-D node
+/// placement. A line of length l is cut into C cells of length l/C; bit i
+/// records whether cell i holds at least one node. A substring of the form
+/// `1 0+ 1` (an empty cell strictly between two occupied ones) certifies a
+/// disconnected communication graph at transmitting range r = l/C.
+namespace gap_pattern {
+
+/// The occupancy bit string of a placement: bit i is true iff some node lies
+/// in cell i = [i*l/C, (i+1)*l/C). Nodes at the right boundary x == l fall in
+/// the last cell. Requires l > 0 and C >= 1; every coordinate must be in
+/// [0, l].
+std::vector<bool> occupancy_bits(std::span<const Point1> nodes, double l, std::size_t C);
+
+/// True iff `bits` contains the pattern {1 0* 1} with at least one 0 — the
+/// sufficient condition of Lemma 1 for disconnection.
+bool has_gap_pattern(const std::vector<bool>& bits);
+
+/// True iff all set bits of `bits` are consecutive (the complement event of
+/// Lemma 2's proof). Vacuously true when fewer than two bits are set.
+bool ones_are_consecutive(const std::vector<bool>& bits);
+
+/// Lemma 2's conditional probability: given that exactly k of C cells are
+/// empty, the probability that NO {1 0* 1} pattern occurs is
+///   P(consecutive ones | µ = k) = (k + 1) / C(C, k),
+/// because exactly k+1 of the C(C,k) equally-likely empty-cell patterns keep
+/// the C-k occupied cells contiguous. Requires k <= C and C >= 1.
+/// Returns the complement, P(pattern | µ = k). The k == C case (no occupied
+/// cells) has no pattern by convention.
+double pattern_probability_given_empty(std::uint64_t C, std::uint64_t k);
+
+/// Exact unconditional probability of the {1 0* 1} pattern for n uniform
+/// nodes in C cells, by conditioning on µ (Equation (1) of the paper):
+///   P(pattern) = sum_k P(pattern | µ = k) P(µ(n,C) = k).
+double pattern_probability(std::uint64_t n, std::uint64_t C);
+
+/// Monte-Carlo estimate of the same probability from `trials` random
+/// placements of n nodes on a line of length l with C = l/r cells; used to
+/// validate the closed forms and Theorem 4's positive-epsilon claim.
+double pattern_probability_monte_carlo(std::uint64_t n, std::size_t C, std::size_t trials,
+                                       Rng& rng);
+
+}  // namespace gap_pattern
+}  // namespace manet

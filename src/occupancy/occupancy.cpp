@@ -1,0 +1,143 @@
+#include "occupancy/occupancy.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace manet::occupancy {
+namespace {
+
+double alpha_of(std::uint64_t n, std::uint64_t C) {
+  return static_cast<double>(n) / static_cast<double>(C);
+}
+
+}  // namespace
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  MANET_EXPECTS(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+std::vector<double> empty_cells_distribution(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  const auto cells = static_cast<std::size_t>(C);
+  const long double c = static_cast<long double>(C);
+
+  // occupied[m] = P(exactly m distinct cells occupied) after i balls. Each
+  // ball either lands in an occupied cell (prob m/C) or opens a new one.
+  std::vector<long double> occupied(cells + 1, 0.0L);
+  occupied[0] = 1.0L;
+  for (std::uint64_t ball = 1; ball <= n; ++ball) {
+    const std::size_t reachable = static_cast<std::size_t>(std::min<std::uint64_t>(ball, C));
+    for (std::size_t m = reachable; m >= 1; --m) {
+      occupied[m] = occupied[m] * (static_cast<long double>(m) / c) +
+                    occupied[m - 1] * (static_cast<long double>(C - m + 1) / c);
+    }
+    occupied[0] = 0.0L;
+  }
+
+  std::vector<double> pmf(cells + 1, 0.0);
+  for (std::size_t k = 0; k <= cells; ++k) {
+    pmf[k] = static_cast<double>(occupied[cells - k]);
+  }
+  return pmf;
+}
+
+double empty_cells_pmf(std::uint64_t n, std::uint64_t C, std::uint64_t k) {
+  MANET_EXPECTS(C >= 1);
+  MANET_EXPECTS(k <= C);
+  return empty_cells_distribution(n, C)[static_cast<std::size_t>(k)];
+}
+
+double expected_empty_cells(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  const double c = static_cast<double>(C);
+  return c * std::pow(1.0 - 1.0 / c, static_cast<double>(n));
+}
+
+double variance_empty_cells(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  const double c = static_cast<double>(C);
+  const double nn = static_cast<double>(n);
+  if (C == 1) return 0.0;
+  const double var = c * (c - 1.0) * std::pow(1.0 - 2.0 / c, nn) +
+                     c * std::pow(1.0 - 1.0 / c, nn) -
+                     c * c * std::pow(1.0 - 1.0 / c, 2.0 * nn);
+  return var < 0.0 ? 0.0 : var;  // guard rounding for extreme n
+}
+
+double expected_empty_cells_asymptotic(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  return static_cast<double>(C) * std::exp(-alpha_of(n, C));
+}
+
+double variance_empty_cells_asymptotic(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 1);
+  const double alpha = alpha_of(n, C);
+  const double ea = std::exp(-alpha);
+  const double var = static_cast<double>(C) * ea * (1.0 - (1.0 + alpha) * ea);
+  return var < 0.0 ? 0.0 : var;
+}
+
+double expected_empty_cells_upper_bound(std::uint64_t n, std::uint64_t C) {
+  return expected_empty_cells_asymptotic(n, C);
+}
+
+const char* domain_name(Domain domain) {
+  switch (domain) {
+    case Domain::kLeftHand:
+      return "LHD";
+    case Domain::kLeftIntermediate:
+      return "LHID";
+    case Domain::kCentral:
+      return "CD";
+    case Domain::kRightIntermediate:
+      return "RHID";
+    case Domain::kRightHand:
+      return "RHD";
+  }
+  return "?";
+}
+
+Domain classify_domain(std::uint64_t n, std::uint64_t C) {
+  MANET_EXPECTS(C >= 2);
+  const double nn = static_cast<double>(n);
+  const double c = static_cast<double>(C);
+  const double sqrt_c = std::sqrt(c);
+  const double c_log_c = c * std::log(c);
+
+  // A finite pair belongs to the domain whose defining relation it satisfies
+  // within a constant factor `band`; the intermediate domains absorb
+  // everything between the bands.
+  constexpr double band = 2.0;
+  if (nn >= c_log_c / band) return Domain::kRightHand;           // n ~ C log C
+  if (nn > band * c) return Domain::kRightIntermediate;          // C << n << C log C
+  if (nn >= c / band) return Domain::kCentral;                   // n ~ C
+  if (nn > band * sqrt_c) return Domain::kLeftIntermediate;      // sqrt(C) << n << C
+  return Domain::kLeftHand;                                      // n ~ sqrt(C) or below
+}
+
+LimitLaw limit_law(std::uint64_t n, std::uint64_t C) {
+  const Domain domain = classify_domain(n, C);
+  const double mean = expected_empty_cells(n, C);
+  const double var = variance_empty_cells(n, C);
+
+  switch (domain) {
+    case Domain::kRightHand:
+      return {LimitLaw::Kind::kPoisson, mean, 0.0, 0.0};
+    case Domain::kLeftHand: {
+      const double shift =
+          static_cast<double>(C) - static_cast<double>(n);
+      return {LimitLaw::Kind::kShiftedPoisson, var, 0.0, shift};
+    }
+    case Domain::kCentral:
+    case Domain::kRightIntermediate:
+    case Domain::kLeftIntermediate:
+      return {LimitLaw::Kind::kNormal, mean, std::sqrt(var), 0.0};
+  }
+  return {LimitLaw::Kind::kNormal, mean, std::sqrt(var), 0.0};
+}
+
+}  // namespace manet::occupancy

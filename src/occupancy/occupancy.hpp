@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace manet {
+
+/// Occupancy theory of Kolchin, Sevast'yanov & Chistyakov (the paper's
+/// Section 2 machinery): n balls thrown independently and uniformly into C
+/// cells; µ(n, C) is the number of empty cells.
+///
+/// Exact formulas are evaluated in log space (they involve binomials of
+/// astronomically large magnitude) with care for the alternating signs of the
+/// inclusion-exclusion series. All functions require n >= 0 and C >= 1.
+namespace occupancy {
+
+/// ln C(n, k); 0 when k == 0 or k == n. Requires k <= n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Exact P(µ(n,C) = k): the probability that exactly k cells remain empty.
+/// Mathematically this is the paper's inclusion-exclusion series
+///   P(µ=k) = C(C,k) * sum_{j=0}^{C-k} (-1)^j C(C-k,j) (1 - (k+j)/C)^n,
+/// but that alternating sum suffers catastrophic cancellation in floating
+/// point, so it is evaluated through the equivalent positive-term Markov
+/// recurrence on the occupied-cell count (see empty_cells_distribution).
+/// Requires k <= C.
+double empty_cells_pmf(std::uint64_t n, std::uint64_t C, std::uint64_t k);
+
+/// The full distribution of µ(n,C): entry k is P(µ = k). Computed in
+/// O(n*C) by evolving the occupied-cell count m ball by ball:
+///   P_i(m) = P_{i-1}(m) * m/C + P_{i-1}(m-1) * (C-m+1)/C.
+/// Every term is positive, so the result is exact to double precision —
+/// prefer this over per-k calls when sweeping k.
+std::vector<double> empty_cells_distribution(std::uint64_t n, std::uint64_t C);
+
+/// Exact E[µ(n,C)] = C (1 - 1/C)^n.
+double expected_empty_cells(std::uint64_t n, std::uint64_t C);
+
+/// Exact Var[µ(n,C)] = C(C-1)(1 - 2/C)^n + C(1 - 1/C)^n - C^2 (1 - 1/C)^{2n}.
+double variance_empty_cells(std::uint64_t n, std::uint64_t C);
+
+/// Theorem 1 asymptotic mean: C e^{-alpha}, alpha = n/C. Also the proof's
+/// choice of k in Theorem 4.
+double expected_empty_cells_asymptotic(std::uint64_t n, std::uint64_t C);
+
+/// Theorem 1 asymptotic variance: C e^{-alpha} (1 - (1 + alpha) e^{-alpha}).
+double variance_empty_cells_asymptotic(std::uint64_t n, std::uint64_t C);
+
+/// Theorem 1 bound: E[µ(n,C)] <= C e^{-alpha} for every n, C.
+double expected_empty_cells_upper_bound(std::uint64_t n, std::uint64_t C);
+
+/// The five asymptotic growth domains of (n, C) distinguished by the paper
+/// (Section 2), ordered from sparse to dense occupancy.
+enum class Domain {
+  kLeftHand,           ///< n = Theta(sqrt(C))
+  kLeftIntermediate,   ///< n = O(C) but n >> sqrt(C)
+  kCentral,            ///< n = Theta(C)
+  kRightIntermediate,  ///< n = Omega(C) but n << C log C  — Theorem 4's regime
+  kRightHand,          ///< n = Theta(C log C)              — Theorem 3's regime
+};
+
+const char* domain_name(Domain domain);
+
+/// Heuristic classification of a *finite* (n, C) pair into the asymptotic
+/// domain whose defining relation it is closest to. The domains are
+/// asymptotic classes, so any finite classification draws concrete
+/// boundaries; we use the geometric midpoints between the defining scales
+/// sqrt(C), C and C log C. Requires C >= 2.
+Domain classify_domain(std::uint64_t n, std::uint64_t C);
+
+/// Limit distribution of µ(n,C) per Theorem 2.
+struct LimitLaw {
+  enum class Kind {
+    kNormal,          ///< CD / RHID / LHID: Normal(E[µ], sqrt(Var[µ]))
+    kPoisson,         ///< RHD: Poisson(lambda = lim E[µ])
+    kShiftedPoisson,  ///< LHD: µ - (C - n) ~ Poisson(rho = lim Var[µ])
+  };
+  Kind kind;
+  /// Normal: mean; Poisson: lambda; ShiftedPoisson: rho.
+  double location;
+  /// Normal: standard deviation; otherwise 0.
+  double scale;
+  /// ShiftedPoisson: the shift C - n; otherwise 0.
+  double shift;
+};
+
+/// The Theorem 2 limit law for the domain of (n, C), parameterized with the
+/// exact finite-size moments.
+LimitLaw limit_law(std::uint64_t n, std::uint64_t C);
+
+}  // namespace occupancy
+}  // namespace manet

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+
+/// Places n nodes independently and uniformly at random in the region — the
+/// paper's deployment model ("nodes are spread from a moving vehicle"), used
+/// for both the stationary analysis and the initial placement of every mobile
+/// simulation.
+template <int D>
+std::vector<Point<D>> uniform_deployment(std::size_t n, const Box<D>& box, Rng& rng) {
+  std::vector<Point<D>> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(box.sample(rng));
+  return points;
+}
+
+}  // namespace manet

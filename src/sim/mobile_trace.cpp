@@ -1,0 +1,130 @@
+#include "sim/mobile_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+MobileConnectivityTrace::MobileConnectivityTrace(
+    std::size_t node_count, std::vector<LargestComponentCurve> per_step_curves)
+    : n_(node_count), curves_(std::move(per_step_curves)) {
+  MANET_EXPECTS(!curves_.empty());
+  for (const auto& curve : curves_) MANET_EXPECTS(curve.node_count() == n_);
+
+  timeline_rc_.reserve(curves_.size());
+  for (const auto& curve : curves_) timeline_rc_.push_back(curve.critical_range());
+  sorted_rc_ = timeline_rc_;
+  std::sort(sorted_rc_.begin(), sorted_rc_.end());
+
+  // Merge the per-step breakpoint curves into the mean largest-component
+  // curve: each step contributes +delta node at each of its breakpoints.
+  struct Event {
+    double range;
+    double delta;
+  };
+  std::vector<Event> events;
+  double base_total = 0.0;
+  for (const auto& curve : curves_) {
+    const auto breakpoints = curve.breakpoints();
+    base_total += static_cast<double>(breakpoints.front().size);
+    for (std::size_t i = 1; i < breakpoints.size(); ++i) {
+      events.push_back({breakpoints[i].range,
+                        static_cast<double>(breakpoints[i].size) -
+                            static_cast<double>(breakpoints[i - 1].size)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.range < b.range; });
+
+  const double steps = static_cast<double>(curves_.size());
+  double total = base_total;
+  mean_curve_.push_back({0.0, total / steps});
+  for (const Event& event : events) {
+    total += event.delta;
+    if (mean_curve_.back().range == event.range) {
+      mean_curve_.back().mean_size = total / steps;
+    } else {
+      mean_curve_.push_back({event.range, total / steps});
+    }
+  }
+}
+
+double MobileConnectivityTrace::fraction_of_time_connected(double range) const {
+  const auto it = std::upper_bound(sorted_rc_.begin(), sorted_rc_.end(), range);
+  return static_cast<double>(it - sorted_rc_.begin()) /
+         static_cast<double>(sorted_rc_.size());
+}
+
+double MobileConnectivityTrace::range_for_time_fraction(double f) const {
+  MANET_EXPECTS(f > 0.0 && f <= 1.0);
+  const auto needed =
+      static_cast<std::size_t>(std::ceil(f * static_cast<double>(sorted_rc_.size())));
+  const std::size_t index = std::max<std::size_t>(needed, 1) - 1;
+  return sorted_rc_[std::min(index, sorted_rc_.size() - 1)];
+}
+
+double MobileConnectivityTrace::largest_never_connected_range() const {
+  return sorted_rc_.front();
+}
+
+double MobileConnectivityTrace::range_for_mean_component_fraction(double phi) const {
+  MANET_EXPECTS(phi > 0.0 && phi <= 1.0);
+  const double target = phi * static_cast<double>(n_);
+  const auto it = std::lower_bound(
+      mean_curve_.begin(), mean_curve_.end(), target,
+      [](const MeanEvent& event, double t) { return event.mean_size < t; });
+  MANET_ENSURES(it != mean_curve_.end());  // mean reaches n at the largest breakpoint
+  return it->range;
+}
+
+double MobileConnectivityTrace::mean_largest_fraction_at(double range) const {
+  MANET_EXPECTS(range >= 0.0);
+  const auto it = std::upper_bound(
+      mean_curve_.begin(), mean_curve_.end(), range,
+      [](double r, const MeanEvent& event) { return r < event.range; });
+  MANET_ENSURES(it != mean_curve_.begin());
+  const double mean_size = std::prev(it)->mean_size;
+  if (n_ == 0) return 1.0;
+  return mean_size / static_cast<double>(n_);
+}
+
+double MobileConnectivityTrace::mean_largest_fraction_when_disconnected(double range) const {
+  double sum = 0.0;
+  std::size_t disconnected = 0;
+  for (const auto& curve : curves_) {
+    if (curve.critical_range() > range) {
+      sum += curve.largest_fraction_at(range);
+      ++disconnected;
+    }
+  }
+  if (disconnected == 0) return 1.0;
+  return sum / static_cast<double>(disconnected);
+}
+
+double MobileConnectivityTrace::min_largest_fraction_at(double range) const {
+  double min_fraction = 1.0;
+  for (const auto& curve : curves_) {
+    min_fraction = std::min(min_fraction, curve.largest_fraction_at(range));
+  }
+  return min_fraction;
+}
+
+double MobileConnectivityTrace::fraction_of_time_component_at_least(double range,
+                                                                    double phi) const {
+  MANET_EXPECTS(phi > 0.0 && phi <= 1.0);
+  std::size_t satisfied = 0;
+  for (const auto& curve : curves_) {
+    if (curve.largest_fraction_at(range) >= phi) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(curves_.size());
+}
+
+double MobileConnectivityTrace::mean_critical_range() const {
+  double sum = 0.0;
+  for (double rc : sorted_rc_) sum += rc;
+  return sum / static_cast<double>(sorted_rc_.size());
+}
+
+}  // namespace manet

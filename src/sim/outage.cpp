@@ -1,0 +1,55 @@
+#include "sim/outage.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+OutageStats analyze_outages(std::span<const double> critical_radius_timeline, double range) {
+  MANET_EXPECTS(!critical_radius_timeline.empty());
+  MANET_EXPECTS(range >= 0.0);
+
+  OutageStats stats;
+  stats.steps = critical_radius_timeline.size();
+
+  std::size_t current_outage = 0;
+  std::size_t current_uptime = 0;
+  std::size_t total_outage_steps = 0;
+  std::vector<std::size_t> outage_starts;
+
+  for (std::size_t t = 0; t < critical_radius_timeline.size(); ++t) {
+    const bool connected = critical_radius_timeline[t] <= range;
+    if (connected) {
+      ++stats.connected_steps;
+      ++current_uptime;
+      stats.longest_uptime = std::max(stats.longest_uptime, current_uptime);
+      current_outage = 0;
+    } else {
+      if (current_outage == 0) {
+        ++stats.outage_count;
+        outage_starts.push_back(t);
+      }
+      ++current_outage;
+      ++total_outage_steps;
+      stats.longest_outage = std::max(stats.longest_outage, current_outage);
+      current_uptime = 0;
+    }
+  }
+
+  stats.availability =
+      static_cast<double>(stats.connected_steps) / static_cast<double>(stats.steps);
+  if (stats.outage_count > 0) {
+    stats.mean_outage_length =
+        static_cast<double>(total_outage_steps) / static_cast<double>(stats.outage_count);
+  }
+  if (outage_starts.size() >= 2) {
+    stats.mean_steps_between_outages =
+        static_cast<double>(outage_starts.back() - outage_starts.front()) /
+        static_cast<double>(outage_starts.size() - 1);
+  }
+  return stats;
+}
+
+}  // namespace manet

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace manet {
+
+/// Interval-level availability analysis of a mobile trace at a fixed
+/// transmitting range. The paper estimates availability as the *fraction* of
+/// time the network is connected (Section 1); operators also care about the
+/// temporal structure of the downtime — many one-step glitches and one long
+/// blackout have the same fraction but very different dependability.
+struct OutageStats {
+  std::size_t steps = 0;              ///< timeline length
+  std::size_t connected_steps = 0;    ///< steps with the graph connected
+  std::size_t outage_count = 0;       ///< maximal runs of disconnected steps
+  std::size_t longest_outage = 0;     ///< length of the worst run (steps)
+  double mean_outage_length = 0.0;    ///< 0 when there is no outage
+  std::size_t longest_uptime = 0;     ///< longest run of connected steps
+  double availability = 0.0;          ///< connected_steps / steps
+
+  /// Mean time between the starts of consecutive outages, the MTBF analogue
+  /// (0 when fewer than two outages occur).
+  double mean_steps_between_outages = 0.0;
+};
+
+/// Computes outage statistics from a time-ordered per-step critical-radius
+/// sequence (MobileConnectivityTrace::critical_radius_timeline()): step t is
+/// connected iff timeline[t] <= range. Requires a non-empty timeline and
+/// range >= 0.
+OutageStats analyze_outages(std::span<const double> critical_radius_timeline, double range);
+
+}  // namespace manet

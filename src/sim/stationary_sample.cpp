@@ -1,0 +1,35 @@
+#include "sim/stationary_sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+StationaryRangeSample::StationaryRangeSample(std::vector<double> critical_radii)
+    : radii_(std::move(critical_radii)) {
+  MANET_EXPECTS(!radii_.empty());
+  std::sort(radii_.begin(), radii_.end());
+}
+
+double StationaryRangeSample::probability_connected(double range) const {
+  const auto it = std::upper_bound(radii_.begin(), radii_.end(), range);
+  return static_cast<double>(it - radii_.begin()) / static_cast<double>(radii_.size());
+}
+
+double StationaryRangeSample::range_for_probability(double p) const {
+  MANET_EXPECTS(p > 0.0 && p <= 1.0);
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(radii_.size())));
+  const std::size_t index = std::max<std::size_t>(needed, 1) - 1;
+  return radii_[std::min(index, radii_.size() - 1)];
+}
+
+double StationaryRangeSample::mean_critical_range() const {
+  double sum = 0.0;
+  for (double r : radii_) sum += r;
+  return sum / static_cast<double>(radii_.size());
+}
+
+}  // namespace manet

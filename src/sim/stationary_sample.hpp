@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "sim/deployment.hpp"
+#include "support/rng.hpp"
+#include "topology/critical_range.hpp"
+
+namespace manet {
+
+/// Empirical distribution of the critical transmission radius over
+/// independent uniform deployments of a *stationary* network. Because a
+/// deployment is connected at range r iff r >= its critical radius, this one
+/// sample answers every stationary-MTR question:
+///   P(connected at r)        = empirical CDF at r,
+///   minimum r for P >= p     = p-th order statistic (r_stationary).
+class StationaryRangeSample {
+ public:
+  /// Takes ownership of per-deployment critical radii. Requires a non-empty
+  /// sample.
+  explicit StationaryRangeSample(std::vector<double> critical_radii);
+
+  std::size_t trials() const noexcept { return radii_.size(); }
+
+  /// Empirical probability that a random deployment is connected at `range`.
+  double probability_connected(double range) const;
+
+  /// Smallest range r such that at least ceil(p * trials) deployments are
+  /// connected at r (exact order statistic, no interpolation). Requires
+  /// p in (0, 1].
+  double range_for_probability(double p) const;
+
+  /// Mean critical radius across the sample.
+  double mean_critical_range() const;
+
+  /// Sorted per-deployment critical radii (ascending).
+  std::span<const double> sorted_radii() const noexcept { return radii_; }
+
+ private:
+  std::vector<double> radii_;  // sorted ascending
+};
+
+/// Runs `trials` independent uniform deployments of n nodes and returns the
+/// critical-radius sample.
+template <int D>
+StationaryRangeSample sample_stationary_critical_ranges(std::size_t n, const Box<D>& box,
+                                                        std::size_t trials, Rng& rng) {
+  std::vector<double> radii;
+  radii.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto points = uniform_deployment(n, box, rng);
+    radii.push_back(critical_range<D>(points));
+  }
+  return StationaryRangeSample(std::move(radii));
+}
+
+}  // namespace manet

@@ -1,0 +1,152 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+bool starts_with_dashes(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_summary) : summary_(std::move(program_summary)) {
+  add_flag("help", "show this help text");
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  MANET_EXPECTS(!name.empty());
+  MANET_EXPECTS(!options_.contains(name));
+  options_[name] = Option{help, default_value, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  MANET_EXPECTS(!name.empty());
+  MANET_EXPECTS(!options_.contains(name));
+  options_[name] = Option{help, "", /*is_flag=*/true};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with_dashes(arg)) {
+      throw ConfigError("unexpected positional argument: '" + arg + "'");
+    }
+    arg.erase(0, 2);
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw ConfigError("unknown option '--" + name + "' (try --help)");
+    }
+
+    if (it->second.is_flag) {
+      if (inline_value) {
+        throw ConfigError("flag '--" + name + "' does not take a value");
+      }
+      set_flags_.push_back(name);
+      if (name == "help") help_requested_ = true;
+      continue;
+    }
+
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        throw ConfigError("option '--" + name + "' expects a value");
+      }
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream out;
+  out << summary_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.is_flag && !opt.default_value.empty()) {
+      out << " (default: " << opt.default_value << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+const CliParser::Option& CliParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw ConfigError("option '--" + name + "' was never registered");
+  }
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const Option& opt = find(name);
+  MANET_EXPECTS(opt.is_flag);
+  return std::find(set_flags_.begin(), set_flags_.end(), name) != set_flags_.end();
+}
+
+std::string CliParser::string_value(const std::string& name) const {
+  const Option& opt = find(name);
+  MANET_EXPECTS(!opt.is_flag);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt.default_value;
+}
+
+bool CliParser::was_set(const std::string& name) const {
+  const Option& opt = find(name);
+  if (opt.is_flag) {
+    return std::find(set_flags_.begin(), set_flags_.end(), name) != set_flags_.end();
+  }
+  return values_.contains(name);
+}
+
+std::int64_t CliParser::int_value(const std::string& name) const {
+  const std::string text = string_value(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("option '--" + name + "': '" + text + "' is not an integer");
+  }
+  return out;
+}
+
+std::uint64_t CliParser::uint_value(const std::string& name) const {
+  const std::string text = string_value(name);
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("option '--" + name + "': '" + text +
+                      "' is not a non-negative integer");
+  }
+  return out;
+}
+
+double CliParser::double_value(const std::string& name) const {
+  const std::string text = string_value(name);
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("option '--" + name + "': '" + text + "' is not a number");
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace manet {
+
+/// Minimal command-line parser for the bench / example binaries.
+///
+/// Supports `--name value`, `--name=value` and boolean `--flag` forms. Unknown
+/// options raise ConfigError so typos in experiment parameters never pass
+/// silently. `--help` prints the registered options and is reported through
+/// `help_requested()` so callers can exit cleanly.
+class CliParser {
+ public:
+  /// `program_summary` is shown at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers an option; `help` is the description shown by --help.
+  /// `default_value` is rendered in the help text.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Registers a boolean flag (present -> true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws ConfigError on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_requested_; }
+
+  /// Renders the help text.
+  std::string help_text() const;
+
+  /// True when the user passed the flag `name`.
+  bool flag(const std::string& name) const;
+
+  /// Raw string value of option `name` (user-provided or default).
+  std::string string_value(const std::string& name) const;
+
+  /// Typed accessors; throw ConfigError when the value does not parse.
+  std::int64_t int_value(const std::string& name) const;
+  std::uint64_t uint_value(const std::string& name) const;
+  double double_value(const std::string& name) const;
+
+  /// True when the user explicitly supplied the option on the command line.
+  bool was_set(const std::string& name) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> set_flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace manet

@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace manet::detail {
+
+void throw_contract_violation(const char* kind, const char* condition,
+                              const std::source_location& where) {
+  std::ostringstream msg;
+  msg << where.file_name() << ':' << where.line() << ": " << kind << " failed: " << condition
+      << " (in " << where.function_name() << ')';
+  throw ContractViolation(msg.str());
+}
+
+}  // namespace manet::detail

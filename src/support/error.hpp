@@ -1,0 +1,48 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+
+namespace manet {
+
+/// Thrown when a precondition or invariant stated by the library is violated.
+/// These indicate programming errors in the caller, not recoverable runtime
+/// conditions.
+class ContractViolation final : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when user-supplied configuration is inconsistent (bad parameter
+/// ranges, impossible experiment setups, malformed command lines, ...).
+class ConfigError final : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_contract_violation(const char* kind, const char* condition,
+                                           const std::source_location& where);
+
+}  // namespace detail
+}  // namespace manet
+
+/// Precondition check. Always on (not tied to NDEBUG): the library drives
+/// long-running experiments where silently accepting bad input costs hours.
+#define MANET_EXPECTS(cond)                                                        \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::manet::detail::throw_contract_violation("precondition", #cond,            \
+                                                std::source_location::current()); \
+    }                                                                             \
+  } while (false)
+
+/// Postcondition / internal invariant check.
+#define MANET_ENSURES(cond)                                                        \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::manet::detail::throw_contract_violation("invariant", #cond,               \
+                                                std::source_location::current()); \
+    }                                                                             \
+  } while (false)

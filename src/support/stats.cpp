@@ -1,0 +1,132 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  MANET_EXPECTS(count_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MANET_EXPECTS(count_ > 0);
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  MANET_EXPECTS(count_ > 1);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(sample_variance()); }
+
+double RunningStats::min() const {
+  MANET_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  MANET_EXPECTS(count_ > 0);
+  return max_;
+}
+
+ConfidenceInterval mean_confidence_interval(const RunningStats& stats, double z) {
+  MANET_EXPECTS(stats.count() >= 2);
+  MANET_EXPECTS(z >= 0.0);
+  const double half =
+      z * std::sqrt(stats.sample_variance() / static_cast<double>(stats.count()));
+  return {stats.mean() - half, stats.mean() + half};
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  MANET_EXPECTS(!sorted.empty());
+  MANET_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t below = static_cast<std::size_t>(pos);
+  if (below + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(below);
+  return sorted[below] + frac * (sorted[below + 1] - sorted[below]);
+}
+
+std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs) {
+  MANET_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  MANET_EXPECTS(lo < hi);
+  MANET_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = std::min(static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  MANET_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  MANET_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  MANET_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::frequency(std::size_t bin) const {
+  MANET_EXPECTS(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+}  // namespace manet

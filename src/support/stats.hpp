@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace manet {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm), numerically
+/// stable over long simulation runs. Supports merging partial accumulators
+/// (Chan et al. parallel update), used when aggregating per-iteration results.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Mean of the observations. Requires at least one observation.
+  double mean() const;
+
+  /// Population variance (divides by n). Requires at least one observation.
+  double variance() const;
+
+  /// Sample variance (divides by n-1). Requires at least two observations.
+  double sample_variance() const;
+
+  /// Sample standard deviation. Requires at least two observations.
+  double stddev() const;
+
+  /// Smallest / largest observation. Require at least one observation.
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided confidence interval around a mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const noexcept { return hi - lo; }
+  bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+};
+
+/// Normal-approximation confidence interval for the mean of `stats`.
+/// `z` is the standard-normal quantile (1.96 -> 95%). Requires >= 2 samples.
+ConfidenceInterval mean_confidence_interval(const RunningStats& stats, double z = 1.96);
+
+/// Empirical q-quantile of `sorted` (ascending), with linear interpolation
+/// between order statistics (R type-7, the numpy/R default).
+/// Requires a non-empty sorted range and q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped to
+/// the first / last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of `bin`.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of `bin`.
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of samples in `bin`; 0 when the histogram is empty.
+  double frequency(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace manet

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manet {
+
+/// Column-aligned text table used by the bench harness to print the series
+/// that the paper's figures plot. Also exports CSV so results can be
+/// re-plotted.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a numeric cell with `precision` significant decimal digits.
+  static std::string num(double value, int precision = 4);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the aligned table (with a header separator) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (header row first).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manet

@@ -1,0 +1,66 @@
+#include "topology/critical_range.hpp"
+
+#include <algorithm>
+
+namespace manet {
+
+LargestComponentCurve::LargestComponentCurve(std::size_t n, std::vector<WeightedEdge> mst_edges)
+    : n_(n) {
+  MANET_EXPECTS(mst_edges.size() + 1 == n || (n <= 1 && mst_edges.empty()));
+
+  breakpoints_.push_back({0.0, n == 0 ? std::size_t{0} : std::size_t{1}});
+  if (mst_edges.empty()) return;
+
+  std::sort(mst_edges.begin(), mst_edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) { return a.weight < b.weight; });
+
+  UnionFind dsu(n);
+  for (const WeightedEdge& e : mst_edges) {
+    const std::size_t before = dsu.largest_component_size();
+    const bool merged = dsu.unite(e.u, e.v);
+    MANET_ENSURES(merged);  // MST edges never form cycles
+    const std::size_t after = dsu.largest_component_size();
+    if (after > before) {
+      if (breakpoints_.back().range == e.weight) {
+        // Several merges at the same range (e.g. equally spaced points):
+        // keep one breakpoint with the final size.
+        breakpoints_.back().size = after;
+      } else {
+        breakpoints_.push_back({e.weight, after});
+      }
+    }
+  }
+  MANET_ENSURES(dsu.all_connected());
+  MANET_ENSURES(breakpoints_.back().size == n);
+}
+
+std::size_t LargestComponentCurve::largest_component_at(double range) const {
+  MANET_EXPECTS(range >= 0.0);
+  // Last breakpoint with breakpoint.range <= range.
+  auto it = std::upper_bound(
+      breakpoints_.begin(), breakpoints_.end(), range,
+      [](double r, const Breakpoint& b) { return r < b.range; });
+  MANET_ENSURES(it != breakpoints_.begin());
+  return std::prev(it)->size;
+}
+
+double LargestComponentCurve::largest_fraction_at(double range) const {
+  if (n_ == 0) return 1.0;
+  return static_cast<double>(largest_component_at(range)) / static_cast<double>(n_);
+}
+
+double LargestComponentCurve::range_for_size(std::size_t target_size) const {
+  MANET_EXPECTS(target_size > 0 && target_size <= n_);
+  const auto it = std::lower_bound(
+      breakpoints_.begin(), breakpoints_.end(), target_size,
+      [](const Breakpoint& b, std::size_t target) { return b.size < target; });
+  MANET_ENSURES(it != breakpoints_.end());
+  return it->range;
+}
+
+double LargestComponentCurve::critical_range() const {
+  if (n_ <= 1) return 0.0;
+  return breakpoints_.back().range;
+}
+
+}  // namespace manet

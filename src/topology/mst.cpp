@@ -1,0 +1,19 @@
+#include "topology/mst.hpp"
+
+#include <algorithm>
+
+namespace manet {
+
+double tree_bottleneck(std::span<const WeightedEdge> tree) {
+  double bottleneck = 0.0;
+  for (const WeightedEdge& e : tree) bottleneck = std::max(bottleneck, e.weight);
+  return bottleneck;
+}
+
+double tree_total_weight(std::span<const WeightedEdge> tree) {
+  double total = 0.0;
+  for (const WeightedEdge& e : tree) total += e.weight;
+  return total;
+}
+
+}  // namespace manet

@@ -1,0 +1,30 @@
+#include "topology/range_assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manet {
+
+RangeAssignment::RangeAssignment(std::vector<double> ranges) : ranges_(std::move(ranges)) {
+  for (double r : ranges_) MANET_EXPECTS(r >= 0.0);
+}
+
+double RangeAssignment::range(std::size_t node) const {
+  MANET_EXPECTS(node < ranges_.size());
+  return ranges_[node];
+}
+
+double RangeAssignment::cost(double alpha) const {
+  MANET_EXPECTS(alpha >= 1.0);
+  double total = 0.0;
+  for (double r : ranges_) total += std::pow(r, alpha);
+  return total;
+}
+
+double RangeAssignment::max_range() const {
+  double max_r = 0.0;
+  for (double r : ranges_) max_r = std::max(max_r, r);
+  return max_r;
+}
+
+}  // namespace manet

@@ -1,0 +1,122 @@
+#include "graph/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+
+using Edge = std::pair<std::size_t, std::size_t>;
+
+AdjacencyGraph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return AdjacencyGraph(n, edges);
+}
+
+TEST(AdjacencyGraph, EmptyGraph) {
+  const std::vector<Edge> edges;
+  const AdjacencyGraph graph(0, edges);
+  EXPECT_EQ(graph.vertex_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(AdjacencyGraph, EdgelessGraph) {
+  const std::vector<Edge> edges;
+  const AdjacencyGraph graph(3, edges);
+  EXPECT_EQ(graph.vertex_count(), 3u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.degree(0), 0u);
+  EXPECT_TRUE(graph.neighbors(1).empty());
+}
+
+TEST(AdjacencyGraph, NeighborsAreSortedAndSymmetric) {
+  const std::vector<Edge> edges = {{2, 0}, {0, 1}, {2, 1}};
+  const AdjacencyGraph graph(3, edges);
+  EXPECT_EQ(graph.edge_count(), 3u);
+
+  const auto n0 = graph.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+
+  const auto n2 = graph.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+}
+
+TEST(AdjacencyGraph, RejectsSelfLoopsAndBadVertices) {
+  const std::vector<Edge> self_loop = {{1, 1}};
+  EXPECT_THROW(AdjacencyGraph(3, self_loop), ContractViolation);
+
+  const std::vector<Edge> out_of_range = {{0, 3}};
+  EXPECT_THROW(AdjacencyGraph(3, out_of_range), ContractViolation);
+}
+
+TEST(AdjacencyGraph, RejectsParallelEdges) {
+  const std::vector<Edge> dup = {{0, 1}, {1, 0}};
+  EXPECT_THROW(AdjacencyGraph(2, dup), ContractViolation);
+}
+
+TEST(BfsDistances, PathGraphDistances) {
+  const AdjacencyGraph graph = path_graph(5);
+  const auto dist = bfs_distances(graph, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsDistances, DisconnectedVerticesAreUnreached) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const AdjacencyGraph graph(4, edges);
+  const auto dist = bfs_distances(graph, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreached);
+  EXPECT_EQ(dist[3], kUnreached);
+}
+
+TEST(BfsDistances, SourceOutOfRangeThrows) {
+  const AdjacencyGraph graph = path_graph(3);
+  EXPECT_THROW(bfs_distances(graph, 3), ContractViolation);
+}
+
+TEST(ReachableCount, CountsComponentOfSource) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const AdjacencyGraph graph(5, edges);
+  EXPECT_EQ(reachable_count(graph, 0), 3u);
+  EXPECT_EQ(reachable_count(graph, 3), 2u);
+}
+
+TEST(Eccentricity, PathEndpointsVsCenter) {
+  const AdjacencyGraph graph = path_graph(5);
+  EXPECT_EQ(eccentricity(graph, 0), 4u);
+  EXPECT_EQ(eccentricity(graph, 2), 2u);
+}
+
+TEST(ComponentDiameter, PathAndIsolated) {
+  const AdjacencyGraph path = path_graph(6);
+  EXPECT_EQ(component_diameter(path, 3), 5u);
+
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const AdjacencyGraph graph(5, edges);
+  EXPECT_EQ(component_diameter(graph, 0), 2u);
+  EXPECT_EQ(component_diameter(graph, 4), 0u);  // isolated vertex
+}
+
+TEST(ComponentDiameter, CycleGraph) {
+  std::vector<Edge> edges;
+  const std::size_t n = 6;
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  const AdjacencyGraph cycle(n, edges);
+  EXPECT_EQ(component_diameter(cycle, 0), 3u);
+}
+
+}  // namespace
+}  // namespace manet

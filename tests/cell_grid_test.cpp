@@ -1,0 +1,142 @@
+#include "geometry/cell_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "sim/deployment.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+using Pair = std::pair<std::size_t, std::size_t>;
+
+template <int D>
+std::set<Pair> brute_force_pairs(const std::vector<Point<D>>& points, double radius) {
+  std::set<Pair> pairs;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (squared_distance(points[i], points[j]) <= radius * radius) {
+        pairs.emplace(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+template <int D>
+std::set<Pair> grid_pairs(const std::vector<Point<D>>& points, const Box<D>& box,
+                          double radius) {
+  const CellGrid<D> grid(points, box, radius);
+  std::set<Pair> pairs;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j, double d2) {
+    EXPECT_LT(i, j);
+    EXPECT_LE(d2, radius * radius);
+    const auto [it, inserted] = pairs.emplace(i, j);
+    EXPECT_TRUE(inserted) << "pair reported twice: (" << i << ", " << j << ")";
+  });
+  return pairs;
+}
+
+TEST(CellGrid, MatchesBruteForce2D) {
+  Rng rng(1);
+  const Box2 box(100.0);
+  for (double radius : {1.0, 5.0, 20.0, 60.0, 150.0}) {
+    const auto points = uniform_deployment(80, box, rng);
+    EXPECT_EQ(grid_pairs(points, box, radius), brute_force_pairs(points, radius))
+        << "radius=" << radius;
+  }
+}
+
+TEST(CellGrid, MatchesBruteForce1D) {
+  Rng rng(2);
+  const Box1 box(50.0);
+  for (double radius : {0.5, 2.0, 10.0}) {
+    const auto points = uniform_deployment(60, box, rng);
+    EXPECT_EQ(grid_pairs(points, box, radius), brute_force_pairs(points, radius));
+  }
+}
+
+TEST(CellGrid, MatchesBruteForce3D) {
+  Rng rng(3);
+  const Box3 box(30.0);
+  for (double radius : {2.0, 8.0, 25.0}) {
+    const auto points = uniform_deployment(50, box, rng);
+    EXPECT_EQ(grid_pairs(points, box, radius), brute_force_pairs(points, radius));
+  }
+}
+
+TEST(CellGrid, EmptyAndSingletonInputs) {
+  const Box2 box(10.0);
+  const std::vector<Point2> none;
+  const std::vector<Point2> one = {{{5.0, 5.0}}};
+  EXPECT_TRUE(grid_pairs(none, box, 1.0).empty());
+  EXPECT_TRUE(grid_pairs(one, box, 1.0).empty());
+}
+
+TEST(CellGrid, BoundaryPointsAreHandled) {
+  const Box2 box(10.0);
+  // Points exactly on the box boundary, including the far corner.
+  const std::vector<Point2> points = {
+      {{0.0, 0.0}}, {{10.0, 10.0}}, {{10.0, 0.0}}, {{0.0, 10.0}}, {{5.0, 10.0}}};
+  EXPECT_EQ(grid_pairs(points, box, 6.0), brute_force_pairs(points, 6.0));
+  EXPECT_EQ(grid_pairs(points, box, 20.0), brute_force_pairs(points, 20.0));
+}
+
+TEST(CellGrid, CoincidentPointsFormPairs) {
+  const Box2 box(10.0);
+  const std::vector<Point2> points = {{{3.0, 3.0}}, {{3.0, 3.0}}, {{3.0, 3.0}}};
+  EXPECT_EQ(grid_pairs(points, box, 0.5).size(), 3u);
+}
+
+TEST(CellGrid, PairsAtExactlyRadiusAreIncluded) {
+  const Box2 box(10.0);
+  const std::vector<Point2> points = {{{1.0, 1.0}}, {{4.0, 1.0}}};
+  EXPECT_EQ(grid_pairs(points, box, 3.0).size(), 1u);
+  EXPECT_EQ(grid_pairs(points, box, 2.999).size(), 0u);
+}
+
+TEST(CellGrid, QueryRadiusLargerThanCellSizeIsRejected) {
+  const Box2 box(100.0);
+  const std::vector<Point2> points = {{{1.0, 1.0}}, {{2.0, 2.0}}};
+  const CellGrid<2> grid(points, box, 5.0);
+  EXPECT_THROW(
+      grid.for_each_pair_within(grid.cell_size() * 2.0, [](std::size_t, std::size_t, double) {}),
+      ContractViolation);
+}
+
+TEST(CellGrid, TinyCellSizeIsClampedNotPathological) {
+  Rng rng(4);
+  const Box2 box(10000.0);
+  const auto points = uniform_deployment(40, box, rng);
+  // A tiny requested cell size must not allocate a huge grid; the clamped
+  // grid still answers queries at the (enlarged) cell size correctly.
+  const CellGrid<2> grid(points, box, 1e-6);
+  EXPECT_LE(grid.cells_per_axis() * grid.cells_per_axis(), 4u * 40u + 64u);
+  const double radius = grid.cell_size();
+  std::set<Pair> pairs;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j, double) {
+    pairs.emplace(i, j);
+  });
+  EXPECT_EQ(pairs, brute_force_pairs(points, radius));
+}
+
+TEST(CellGrid, ReportedDistanceIsExact) {
+  const Box2 box(10.0);
+  const std::vector<Point2> points = {{{0.0, 0.0}}, {{3.0, 4.0}}};
+  const CellGrid<2> grid(points, box, 6.0);
+  grid.for_each_pair_within(6.0, [&](std::size_t i, std::size_t j, double d2) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(j, 1u);
+    EXPECT_DOUBLE_EQ(d2, 25.0);
+  });
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,122 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test tool");
+  parser.add_option("count", "number of things", "10");
+  parser.add_option("rate", "a rate", "0.5");
+  parser.add_option("name", "a label", "alpha");
+  parser.add_flag("verbose", "talk more");
+  return parser;
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(parser.int_value("count"), 10);
+  EXPECT_DOUBLE_EQ(parser.double_value("rate"), 0.5);
+  EXPECT_EQ(parser.string_value("name"), "alpha");
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_FALSE(parser.was_set("count"));
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--count", "42", "--name", "beta"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(parser.int_value("count"), 42);
+  EXPECT_EQ(parser.string_value("name"), "beta");
+  EXPECT_TRUE(parser.was_set("count"));
+}
+
+TEST(CliParser, EqualsSeparatedValues) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--rate=0.25", "--count=7"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(parser.double_value("rate"), 0.25);
+  EXPECT_EQ(parser.uint_value("count"), 7u);
+}
+
+TEST(CliParser, FlagsAreDetected) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--verbose"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parser.flag("verbose"));
+}
+
+TEST(CliParser, HelpIsReported) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--help"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parser.help_requested());
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("number of things"), std::string::npos);
+  EXPECT_NE(help.find("default: 10"), std::string::npos);
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--bogus", "1"};
+  EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data()), ConfigError);
+}
+
+TEST(CliParser, PositionalArgumentThrows) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "stray"};
+  EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data()), ConfigError);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--count"};
+  EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data()), ConfigError);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--verbose=yes"};
+  EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data()), ConfigError);
+}
+
+TEST(CliParser, MalformedNumbersThrow) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--count", "ten", "--rate", "fast"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(parser.int_value("count"), ConfigError);
+  EXPECT_THROW(parser.double_value("rate"), ConfigError);
+}
+
+TEST(CliParser, NegativeIntoUnsignedThrows) {
+  CliParser parser = make_parser();
+  const std::array argv = {"prog", "--count", "-3"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(parser.int_value("count"), -3);
+  EXPECT_THROW(parser.uint_value("count"), ConfigError);
+}
+
+TEST(CliParser, DuplicateRegistrationThrows) {
+  CliParser parser("x");
+  parser.add_option("a", "", "1");
+  EXPECT_THROW(parser.add_option("a", "", "2"), ContractViolation);
+  EXPECT_THROW(parser.add_flag("a", ""), ContractViolation);
+}
+
+TEST(CliParser, UnregisteredLookupThrows) {
+  CliParser parser("x");
+  const std::array argv = {"prog"};
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(parser.string_value("nope"), ConfigError);
+}
+
+}  // namespace
+}  // namespace manet

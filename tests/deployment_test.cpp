@@ -1,0 +1,71 @@
+#include "sim/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace manet {
+namespace {
+
+TEST(UniformDeployment, ProducesRequestedCount) {
+  Rng rng(1);
+  const Box2 box(10.0);
+  EXPECT_EQ(uniform_deployment(0, box, rng).size(), 0u);
+  EXPECT_EQ(uniform_deployment(1, box, rng).size(), 1u);
+  EXPECT_EQ(uniform_deployment(137, box, rng).size(), 137u);
+}
+
+TEST(UniformDeployment, AllPointsInsideRegion) {
+  Rng rng(2);
+  const Box3 box(7.0);
+  const auto points = uniform_deployment(500, box, rng);
+  for (const auto& p : points) ASSERT_TRUE(box.contains(p));
+}
+
+TEST(UniformDeployment, CoordinatesAreUniform) {
+  Rng rng(3);
+  const Box2 box(10.0);
+  RunningStats xs;
+  RunningStats ys;
+  for (int round = 0; round < 40; ++round) {
+    const auto points = uniform_deployment(500, box, rng);
+    for (const auto& p : points) {
+      xs.add(p[0]);
+      ys.add(p[1]);
+    }
+  }
+  EXPECT_NEAR(xs.mean(), 5.0, 0.1);
+  EXPECT_NEAR(ys.mean(), 5.0, 0.1);
+  EXPECT_NEAR(xs.variance(), 100.0 / 12.0, 0.2);
+  EXPECT_NEAR(ys.variance(), 100.0 / 12.0, 0.2);
+}
+
+TEST(UniformDeployment, IsDeterministicPerSeed) {
+  const Box2 box(10.0);
+  Rng a(42);
+  Rng b(42);
+  const auto pa = uniform_deployment(50, box, a);
+  const auto pb = uniform_deployment(50, box, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(UniformDeployment, QuadrantsAreBalanced) {
+  Rng rng(4);
+  const Box2 box(2.0);
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  const auto points = uniform_deployment(n, box, rng);
+  for (const auto& p : points) {
+    const int q = (p[0] >= 1.0 ? 1 : 0) + (p[1] >= 1.0 ? 2 : 0);
+    ++quadrant_counts[q];
+  }
+  for (int c : quadrant_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,128 @@
+#include "core/dimensioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(DimensioningOptions, Validation) {
+  DimensioningOptions options;
+  EXPECT_NO_THROW(options.validate());
+
+  options.trials = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options = DimensioningOptions{};
+
+  options.max_nodes = 1;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options = DimensioningOptions{};
+
+  options.target_probability = 0.0;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.target_probability = 1.2;
+  EXPECT_THROW(options.validate(), ConfigError);
+}
+
+TEST(MinimumNodeCount, FoundCountMeetsTheTarget) {
+  Rng rng(1);
+  const Box2 box(100.0);
+  DimensioningOptions options;
+  options.trials = 150;
+  options.target_probability = 0.9;
+  const double range = 30.0;
+
+  const DimensioningResult result = minimum_node_count<2>(range, box, options, rng);
+  EXPECT_GT(result.node_count, 2u);
+  EXPECT_GE(result.achieved_probability, 0.9);
+
+  // Verification with fresh randomness: the found n connects ~90%.
+  Rng check(2);
+  const auto sample =
+      sample_stationary_critical_ranges<2>(result.node_count, box, 300, check);
+  EXPECT_GT(sample.probability_connected(range), 0.8);
+}
+
+TEST(MinimumNodeCount, FewerNodesMissTheTarget) {
+  Rng rng(3);
+  const Box2 box(100.0);
+  DimensioningOptions options;
+  options.trials = 200;
+  options.target_probability = 0.9;
+  const double range = 30.0;
+  const DimensioningResult result = minimum_node_count<2>(range, box, options, rng);
+
+  if (result.node_count > 2) {
+    Rng check(4);
+    const auto sample = sample_stationary_critical_ranges<2>(
+        result.node_count / 2, box, 300, check);
+    EXPECT_LT(sample.probability_connected(range), 0.9);
+  }
+}
+
+TEST(MinimumNodeCount, LargerRangeNeedsFewerNodes) {
+  Rng rng(5);
+  const Box2 box(100.0);
+  DimensioningOptions options;
+  options.trials = 150;
+  options.target_probability = 0.9;
+
+  const auto with_short = minimum_node_count<2>(25.0, box, options, rng);
+  const auto with_long = minimum_node_count<2>(60.0, box, options, rng);
+  EXPECT_LT(with_long.node_count, with_short.node_count);
+}
+
+TEST(MinimumNodeCount, HugeRangeNeedsTwoNodes) {
+  Rng rng(6);
+  const Box2 box(10.0);
+  DimensioningOptions options;
+  options.trials = 50;
+  // Any two nodes within the diagonal are connected.
+  const auto result = minimum_node_count<2>(15.0, box, options, rng);
+  EXPECT_EQ(result.node_count, 2u);
+  EXPECT_DOUBLE_EQ(result.achieved_probability, 1.0);
+}
+
+TEST(MinimumNodeCount, ThrowsWhenTargetUnreachable) {
+  Rng rng(7);
+  const Box2 box(1000.0);
+  DimensioningOptions options;
+  options.trials = 30;
+  options.max_nodes = 64;  // far too few for this tiny range
+  EXPECT_THROW(minimum_node_count<2>(5.0, box, options, rng), ConfigError);
+}
+
+TEST(MinimumNodeCount, RejectsNonPositiveRange) {
+  Rng rng(8);
+  const Box2 box(10.0);
+  EXPECT_THROW(minimum_node_count<2>(0.0, box, DimensioningOptions{}, rng),
+               ContractViolation);
+}
+
+TEST(MinimumNodeCount, EvaluationCountStaysLogarithmic) {
+  Rng rng(9);
+  const Box2 box(100.0);
+  DimensioningOptions options;
+  options.trials = 100;
+  options.target_probability = 0.9;
+  const auto result = minimum_node_count<2>(30.0, box, options, rng);
+  // Exponential bracket + bisection: well under 40 probes even for large n.
+  EXPECT_LE(result.evaluations, 40u);
+}
+
+TEST(MinimumNodeCount, WorksIn1D) {
+  Rng rng(10);
+  const Box1 line(100.0);
+  DimensioningOptions options;
+  options.trials = 150;
+  options.target_probability = 0.9;
+  const auto result = minimum_node_count<1>(10.0, line, options, rng);
+  EXPECT_GT(result.node_count, 5u);  // 100/10 = 10 gaps to cover, need margin
+  EXPECT_GE(result.achieved_probability, 0.9);
+}
+
+}  // namespace
+}  // namespace manet

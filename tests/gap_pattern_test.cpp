@@ -1,0 +1,150 @@
+#include "occupancy/gap_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "occupancy/occupancy.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+using namespace gap_pattern;
+
+TEST(OccupancyBits, AssignsCellsCorrectly) {
+  const std::vector<Point1> nodes = {{{0.0}}, {{2.5}}, {{9.99}}};
+  const auto bits = occupancy_bits(nodes, 10.0, 5);  // cells of length 2
+  ASSERT_EQ(bits.size(), 5u);
+  EXPECT_TRUE(bits[0]);   // 0.0
+  EXPECT_TRUE(bits[1]);   // 2.5
+  EXPECT_FALSE(bits[2]);
+  EXPECT_FALSE(bits[3]);
+  EXPECT_TRUE(bits[4]);   // 9.99
+}
+
+TEST(OccupancyBits, RightBoundaryFallsInLastCell) {
+  const std::vector<Point1> nodes = {{{10.0}}};
+  const auto bits = occupancy_bits(nodes, 10.0, 4);
+  EXPECT_TRUE(bits[3]);
+}
+
+TEST(OccupancyBits, RejectsOutOfRangeCoordinates) {
+  const std::vector<Point1> nodes = {{{-0.1}}};
+  EXPECT_THROW(occupancy_bits(nodes, 10.0, 4), ContractViolation);
+  const std::vector<Point1> beyond = {{{10.1}}};
+  EXPECT_THROW(occupancy_bits(beyond, 10.0, 4), ContractViolation);
+}
+
+TEST(HasGapPattern, DetectsLemma1Patterns) {
+  EXPECT_TRUE(has_gap_pattern({true, false, true}));
+  EXPECT_TRUE(has_gap_pattern({true, false, false, false, true}));
+  EXPECT_TRUE(has_gap_pattern({false, true, false, true, false}));
+  EXPECT_TRUE(has_gap_pattern({true, true, false, true, true}));
+}
+
+TEST(HasGapPattern, RejectsConsecutiveOnes) {
+  EXPECT_FALSE(has_gap_pattern({}));
+  EXPECT_FALSE(has_gap_pattern({false, false, false}));
+  EXPECT_FALSE(has_gap_pattern({true}));
+  EXPECT_FALSE(has_gap_pattern({true, true, true}));
+  EXPECT_FALSE(has_gap_pattern({false, true, true, false}));
+  EXPECT_FALSE(has_gap_pattern({false, false, true, false, false}));
+}
+
+TEST(OnesAreConsecutive, IsComplementOfGapPattern) {
+  const std::vector<std::vector<bool>> cases = {
+      {}, {true}, {true, false, true}, {false, true, true}, {true, false, false, true}};
+  for (const auto& bits : cases) {
+    EXPECT_EQ(ones_are_consecutive(bits), !has_gap_pattern(bits));
+  }
+}
+
+TEST(PatternProbabilityGivenEmpty, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(pattern_probability_given_empty(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pattern_probability_given_empty(10, 10), 0.0);
+}
+
+TEST(PatternProbabilityGivenEmpty, HandComputedSmallCase) {
+  // C = 3, k = 1: patterns with one empty cell: {011, 101, 110}; only 101
+  // has the gap. P = 1/3; formula: 1 - (k+1)/C(3,1) = 1 - 2/3 = 1/3.
+  EXPECT_NEAR(pattern_probability_given_empty(3, 1), 1.0 / 3.0, 1e-12);
+
+  // C = 4, k = 2: C(4,2) = 6 patterns; consecutive-ones patterns: 1100,
+  // 0110, 0011 -> 3 of 6 have no gap; formula: 1 - 3/6 = 1/2.
+  EXPECT_NEAR(pattern_probability_given_empty(4, 2), 0.5, 1e-12);
+}
+
+TEST(PatternProbabilityGivenEmpty, Lemma2LimitApproachesOne) {
+  // Lemma 2: for 0 < k << C, P(pattern | mu = k) -> 1 as C -> infinity.
+  double previous = 0.0;
+  for (std::uint64_t C : {10u, 100u, 1000u, 10000u}) {
+    const std::uint64_t k = C / 10;
+    const double p = pattern_probability_given_empty(C, k);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+  EXPECT_GT(previous, 1.0 - 1e-9);
+}
+
+TEST(PatternProbability, MatchesDirectEnumerationTinyCase) {
+  // n = 2 balls in C = 3 cells: 9 equally likely (ordered) placements.
+  // Gap pattern requires balls in cells {0, 2} -> 2 of 9.
+  EXPECT_NEAR(pattern_probability(2, 3), 2.0 / 9.0, 1e-12);
+}
+
+TEST(PatternProbability, MatchesMonteCarlo) {
+  Rng rng(1);
+  for (const auto [n, C] : std::vector<std::pair<std::uint64_t, std::size_t>>{
+           {5, 4}, {10, 8}, {20, 10}, {12, 20}}) {
+    const double exact = pattern_probability(n, C);
+    const double simulated = pattern_probability_monte_carlo(n, C, 100000, rng);
+    EXPECT_NEAR(exact, simulated, 0.01) << "n=" << n << " C=" << C;
+  }
+}
+
+TEST(PatternProbability, ZeroWhenOnlyOneCell) {
+  EXPECT_DOUBLE_EQ(pattern_probability(10, 1), 0.0);
+}
+
+TEST(PatternProbability, IncreasesWithSparseness) {
+  // For fixed n, more cells (smaller range) make the gap pattern more
+  // likely.
+  const std::uint64_t n = 20;
+  double previous = 0.0;
+  for (std::uint64_t C : {2u, 5u, 10u, 20u, 40u}) {
+    const double p = pattern_probability(n, C);
+    EXPECT_GE(p, previous - 1e-12) << "C=" << C;
+    previous = p;
+  }
+}
+
+TEST(PatternProbability, Theorem4GapRegimeStaysBoundedAwayFromZero) {
+  // Theorem 4: for l << rn << l log l the pattern probability does not
+  // vanish. Take n = C * f with 1 << f << log C (here f = sqrt(log C)):
+  // the probability must stay above a positive floor as C grows.
+  for (std::uint64_t C : {64u, 256u, 1024u}) {
+    const double f = std::sqrt(std::log(static_cast<double>(C)));
+    const auto n = static_cast<std::uint64_t>(static_cast<double>(C) * f);
+    const double p = pattern_probability(n, C);
+    EXPECT_GT(p, 0.05) << "C=" << C << " n=" << n;
+  }
+}
+
+TEST(PatternProbability, Theorem3RegimeVanishes) {
+  // For rn >> l log l (n >> C log C) the pattern probability must be tiny.
+  const std::uint64_t C = 64;
+  const auto n = static_cast<std::uint64_t>(
+      4.0 * static_cast<double>(C) * std::log(static_cast<double>(C)));
+  EXPECT_LT(pattern_probability(n, C), 1e-3);
+}
+
+TEST(PatternProbabilityMonteCarlo, RequiresPositiveTrials) {
+  Rng rng(2);
+  EXPECT_THROW(pattern_probability_monte_carlo(5, 4, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace manet

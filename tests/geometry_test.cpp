@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "geometry/sampling.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Point, ArithmeticOperators) {
+  const Point2 a{{1.0, 2.0}};
+  const Point2 b{{3.0, 5.0}};
+  const Point2 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 7.0);
+
+  const Point2 diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[0], 2.0);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+
+  const Point2 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+
+  const Point2 scaled_left = 0.5 * b;
+  EXPECT_DOUBLE_EQ(scaled_left[0], 1.5);
+  EXPECT_DOUBLE_EQ(scaled_left[1], 2.5);
+}
+
+TEST(Point, DistanceMatchesPythagoras) {
+  const Point2 origin{{0.0, 0.0}};
+  const Point2 p{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(squared_distance(origin, p), 25.0);
+  EXPECT_DOUBLE_EQ(distance(origin, p), 5.0);
+}
+
+TEST(Point, DistanceIn1DAnd3D) {
+  const Point1 a{{1.0}};
+  const Point1 b{{4.5}};
+  EXPECT_DOUBLE_EQ(distance(a, b), 3.5);
+
+  const Point3 u{{0.0, 0.0, 0.0}};
+  const Point3 v{{1.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(distance(u, v), 3.0);
+}
+
+TEST(Point, NormAndEquality) {
+  const Point2 p{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(norm(p), 5.0);
+  EXPECT_DOUBLE_EQ(squared_norm(p), 25.0);
+  EXPECT_EQ(p, (Point2{{3.0, 4.0}}));
+  EXPECT_NE(p, (Point2{{3.0, 4.0001}}));
+}
+
+TEST(Box, BasicProperties) {
+  const Box2 box(10.0);
+  EXPECT_DOUBLE_EQ(box.side(), 10.0);
+  EXPECT_DOUBLE_EQ(box.volume(), 100.0);
+  EXPECT_DOUBLE_EQ(box.diagonal(), 10.0 * std::sqrt(2.0));
+
+  const Box3 cube(2.0);
+  EXPECT_DOUBLE_EQ(cube.volume(), 8.0);
+  EXPECT_DOUBLE_EQ(cube.diagonal(), 2.0 * std::sqrt(3.0));
+}
+
+TEST(Box, RejectsNonPositiveSide) {
+  EXPECT_THROW(Box2(0.0), ContractViolation);
+  EXPECT_THROW(Box2(-1.0), ContractViolation);
+}
+
+TEST(Box, ContainsAndClamp) {
+  const Box2 box(5.0);
+  EXPECT_TRUE(box.contains({{0.0, 0.0}}));
+  EXPECT_TRUE(box.contains({{5.0, 5.0}}));
+  EXPECT_TRUE(box.contains({{2.5, 4.9}}));
+  EXPECT_FALSE(box.contains({{-0.1, 1.0}}));
+  EXPECT_FALSE(box.contains({{1.0, 5.1}}));
+
+  const Point2 clamped = box.clamp({{-2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(clamped[0], 0.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 5.0);
+}
+
+TEST(Box, SampleStaysInsideAndIsUniform) {
+  const Box2 box(8.0);
+  Rng rng(1);
+  RunningStats xs;
+  RunningStats ys;
+  for (int i = 0; i < 20000; ++i) {
+    const Point2 p = box.sample(rng);
+    ASSERT_TRUE(box.contains(p));
+    xs.add(p[0]);
+    ys.add(p[1]);
+  }
+  EXPECT_NEAR(xs.mean(), 4.0, 0.1);
+  EXPECT_NEAR(ys.mean(), 4.0, 0.1);
+  EXPECT_NEAR(xs.variance(), 64.0 / 12.0, 0.2);
+}
+
+TEST(UniformInBall, StaysInBall) {
+  Rng rng(2);
+  const Point2 center{{5.0, 5.0}};
+  for (int i = 0; i < 5000; ++i) {
+    const Point2 p = uniform_in_ball(center, 2.0, rng);
+    EXPECT_LE(distance(p, center), 2.0 + 1e-12);
+  }
+}
+
+TEST(UniformInBall, MeanIsCenter) {
+  Rng rng(3);
+  const Point2 center{{1.0, -2.0}};
+  RunningStats xs;
+  RunningStats ys;
+  for (int i = 0; i < 20000; ++i) {
+    const Point2 p = uniform_in_ball(center, 3.0, rng);
+    xs.add(p[0]);
+    ys.add(p[1]);
+  }
+  EXPECT_NEAR(xs.mean(), 1.0, 0.05);
+  EXPECT_NEAR(ys.mean(), -2.0, 0.05);
+}
+
+TEST(UniformInBall, RejectsNonPositiveRadius) {
+  Rng rng(4);
+  EXPECT_THROW(uniform_in_ball(Point2{{0.0, 0.0}}, 0.0, rng), ContractViolation);
+}
+
+TEST(UniformInBallInBox, StaysInIntersection) {
+  Rng rng(5);
+  const Box2 box(10.0);
+  const Point2 corner{{0.1, 0.1}};  // near a corner: ~3/4 of the ball is outside
+  for (int i = 0; i < 5000; ++i) {
+    const Point2 p = uniform_in_ball_in_box(corner, 2.0, box, rng);
+    EXPECT_TRUE(box.contains(p));
+    EXPECT_LE(distance(p, corner), 2.0 + 1e-12);
+  }
+}
+
+TEST(UniformInBallInBox, RadiusLargerThanBoxWorks) {
+  Rng rng(6);
+  const Box2 box(1.0);
+  const Point2 center{{0.5, 0.5}};
+  for (int i = 0; i < 1000; ++i) {
+    const Point2 p = uniform_in_ball_in_box(center, 100.0, box, rng);
+    EXPECT_TRUE(box.contains(p));
+  }
+}
+
+TEST(UniformInBallInBox, RequiresCenterInsideBox) {
+  Rng rng(7);
+  const Box2 box(1.0);
+  EXPECT_THROW(uniform_in_ball_in_box(Point2{{2.0, 0.5}}, 1.0, box, rng),
+               ContractViolation);
+}
+
+TEST(UniformDirection, UnitNormAndZeroMean) {
+  Rng rng(8);
+  RunningStats xs;
+  RunningStats ys;
+  for (int i = 0; i < 20000; ++i) {
+    const Point2 v = uniform_direction<2>(rng);
+    EXPECT_NEAR(norm(v), 1.0, 1e-9);
+    xs.add(v[0]);
+    ys.add(v[1]);
+  }
+  EXPECT_NEAR(xs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(ys.mean(), 0.0, 0.02);
+}
+
+TEST(UniformDirection, WorksIn1DAnd3D) {
+  Rng rng(9);
+  int negative = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Point1 v = uniform_direction<1>(rng);
+    EXPECT_NEAR(std::abs(v[0]), 1.0, 1e-9);
+    if (v[0] < 0) ++negative;
+  }
+  EXPECT_GT(negative, 400);
+  EXPECT_LT(negative, 600);
+
+  const Point3 w = uniform_direction<3>(rng);
+  EXPECT_NEAR(norm(w), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,85 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace manet {
+namespace {
+
+using Edge = std::pair<std::size_t, std::size_t>;
+
+TEST(DegreeStats, EmptyGraph) {
+  const AdjacencyGraph graph(0, std::vector<Edge>{});
+  const DegreeStats stats = degree_stats(graph);
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+  EXPECT_EQ(stats.isolated_count, 0u);
+}
+
+TEST(DegreeStats, StarGraph) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  const AdjacencyGraph star(5, edges);
+  const DegreeStats stats = degree_stats(star);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 8.0 / 5.0);
+  EXPECT_EQ(stats.isolated_count, 0u);
+}
+
+TEST(DegreeStats, IsolatedNodesAreCounted) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const AdjacencyGraph graph(4, edges);
+  const DegreeStats stats = degree_stats(graph);
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_EQ(stats.isolated_count, 2u);
+}
+
+TEST(DegreeHistogram, MatchesDegrees) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}};
+  const AdjacencyGraph graph(5, edges);  // degrees: 3,1,1,1,0
+  const auto hist = degree_histogram(graph);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(DegreeHistogram, EmptyGraphGivesEmptyHistogram) {
+  const AdjacencyGraph graph(0, std::vector<Edge>{});
+  EXPECT_TRUE(degree_histogram(graph).empty());
+}
+
+TEST(ComponentSizes, SortedDescending) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const AdjacencyGraph graph(6, edges);  // components: {0,1,2}, {3,4}, {5}
+  const auto sizes = component_sizes(graph);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(ComponentSizes, ConnectedGraphHasOneComponent) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < 7; ++i) edges.emplace_back(i, i + 1);
+  const AdjacencyGraph path(7, edges);
+  const auto sizes = component_sizes(path);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 7u);
+}
+
+TEST(ComponentSizes, SizesSumToVertexCount) {
+  const std::vector<Edge> edges = {{0, 2}, {4, 5}, {6, 7}, {7, 8}};
+  const AdjacencyGraph graph(10, edges);
+  const auto sizes = component_sizes(graph);
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "mobility/factory.hpp"
+#include "sim/deployment.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::vector<Point2> deploy(std::size_t n, const Box2& box, Rng& rng) {
+  return uniform_deployment(n, box, rng);
+}
+
+double total_displacement(const std::vector<Point2>& before,
+                          const std::vector<Point2>& after) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) total += distance(before[i], after[i]);
+  return total;
+}
+
+// ---------------------------------------------------------------- waypoint
+
+TEST(RandomWaypoint, NodesStayInRegion) {
+  Rng rng(1);
+  const Box2 box(100.0);
+  RandomWaypointParams params;
+  params.v_min = 0.1;
+  params.v_max = 5.0;
+  params.pause_steps = 3;
+  RandomWaypointModel<2> model(box, params);
+
+  auto positions = deploy(30, box, rng);
+  model.initialize(positions, rng);
+  for (int s = 0; s < 500; ++s) {
+    model.step(positions, rng);
+    for (const auto& p : positions) ASSERT_TRUE(box.contains(p));
+  }
+}
+
+TEST(RandomWaypoint, SpeedNeverExceedsVmax) {
+  Rng rng(2);
+  const Box2 box(100.0);
+  RandomWaypointParams params;
+  params.v_min = 1.0;
+  params.v_max = 4.0;
+  RandomWaypointModel<2> model(box, params);
+
+  auto positions = deploy(20, box, rng);
+  model.initialize(positions, rng);
+  auto previous = positions;
+  for (int s = 0; s < 200; ++s) {
+    model.step(positions, rng);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      ASSERT_LE(distance(previous[i], positions[i]), params.v_max + kEps);
+    }
+    previous = positions;
+  }
+}
+
+TEST(RandomWaypoint, AllStationaryWhenProbabilityIsOne) {
+  Rng rng(3);
+  const Box2 box(50.0);
+  RandomWaypointParams params;
+  params.p_stationary = 1.0;
+  RandomWaypointModel<2> model(box, params);
+
+  auto positions = deploy(25, box, rng);
+  const auto initial = positions;
+  model.initialize(positions, rng);
+  EXPECT_EQ(model.stationary_node_count(), 25u);
+  for (int s = 0; s < 50; ++s) model.step(positions, rng);
+  EXPECT_DOUBLE_EQ(total_displacement(initial, positions), 0.0);
+}
+
+TEST(RandomWaypoint, StationaryFractionMatchesProbability) {
+  Rng rng(4);
+  const Box2 box(50.0);
+  RandomWaypointParams params;
+  params.p_stationary = 0.4;
+  RandomWaypointModel<2> model(box, params);
+
+  std::size_t stationary = 0;
+  const std::size_t n = 200;
+  const int rounds = 50;
+  for (int round = 0; round < rounds; ++round) {
+    auto positions = deploy(n, box, rng);
+    model.initialize(positions, rng);
+    stationary += model.stationary_node_count();
+  }
+  const double fraction = static_cast<double>(stationary) / (n * rounds);
+  EXPECT_NEAR(fraction, 0.4, 0.02);
+}
+
+TEST(RandomWaypoint, PauseFreezesNodeAfterArrival) {
+  Rng rng(5);
+  const Box2 box(10.0);
+  RandomWaypointParams params;
+  params.v_min = 100.0;  // any destination reached in one step
+  params.v_max = 100.0;
+  params.pause_steps = 5;
+  RandomWaypointModel<2> model(box, params);
+
+  std::vector<Point2> positions = {{{5.0, 5.0}}};
+  model.initialize(positions, rng);
+  model.step(positions, rng);  // arrives at destination, enters pause
+  const Point2 arrival = positions[0];
+  for (int s = 0; s < 4; ++s) {  // pause_remaining 5 -> 1: node frozen
+    model.step(positions, rng);
+    EXPECT_EQ(positions[0], arrival) << "node moved during pause";
+  }
+  // Pause expires and a new leg starts; within a few steps it must move.
+  model.step(positions, rng);
+  model.step(positions, rng);
+  EXPECT_NE(positions[0], arrival);
+}
+
+TEST(RandomWaypoint, ZeroPauseKeepsNodesMoving) {
+  Rng rng(6);
+  const Box2 box(100.0);
+  RandomWaypointParams params;
+  params.v_min = 0.5;
+  params.v_max = 2.0;
+  params.pause_steps = 0;
+  RandomWaypointModel<2> model(box, params);
+
+  auto positions = deploy(10, box, rng);
+  model.initialize(positions, rng);
+  int frozen_steps = 0;
+  auto previous = positions;
+  for (int s = 0; s < 100; ++s) {
+    model.step(positions, rng);
+    if (total_displacement(previous, positions) < kEps) ++frozen_steps;
+    previous = positions;
+  }
+  EXPECT_EQ(frozen_steps, 0);
+}
+
+TEST(RandomWaypoint, RejectsInvalidParameters) {
+  const Box2 box(10.0);
+  RandomWaypointParams bad_vmin;
+  bad_vmin.v_min = 0.0;
+  EXPECT_THROW(RandomWaypointModel<2>(box, bad_vmin), ConfigError);
+
+  RandomWaypointParams inverted;
+  inverted.v_min = 2.0;
+  inverted.v_max = 1.0;
+  EXPECT_THROW(RandomWaypointModel<2>(box, inverted), ConfigError);
+
+  RandomWaypointParams bad_p;
+  bad_p.v_max = 1.0;
+  bad_p.p_stationary = 1.5;
+  EXPECT_THROW(RandomWaypointModel<2>(box, bad_p), ConfigError);
+}
+
+TEST(RandomWaypoint, StepBeforeInitializeRejectsSizeMismatch) {
+  Rng rng(7);
+  const Box2 box(10.0);
+  RandomWaypointParams params;
+  params.v_max = 1.0;
+  RandomWaypointModel<2> model(box, params);
+  std::vector<Point2> positions = {{{1.0, 1.0}}};
+  EXPECT_THROW(model.step(positions, rng), ContractViolation);
+}
+
+// ---------------------------------------------------------------- drunkard
+
+TEST(Drunkard, NodesStayInRegion) {
+  Rng rng(8);
+  const Box2 box(100.0);
+  DrunkardParams params;
+  params.step_radius = 10.0;
+  DrunkardModel<2> model(box, params);
+
+  auto positions = deploy(30, box, rng);
+  model.initialize(positions, rng);
+  for (int s = 0; s < 500; ++s) {
+    model.step(positions, rng);
+    for (const auto& p : positions) ASSERT_TRUE(box.contains(p));
+  }
+}
+
+TEST(Drunkard, StepNeverExceedsRadius) {
+  Rng rng(9);
+  const Box2 box(100.0);
+  DrunkardParams params;
+  params.step_radius = 3.0;
+  DrunkardModel<2> model(box, params);
+
+  auto positions = deploy(20, box, rng);
+  model.initialize(positions, rng);
+  auto previous = positions;
+  for (int s = 0; s < 200; ++s) {
+    model.step(positions, rng);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      ASSERT_LE(distance(previous[i], positions[i]), params.step_radius + kEps);
+    }
+    previous = positions;
+  }
+}
+
+TEST(Drunkard, PauseProbabilityOneFreezesNetwork) {
+  Rng rng(10);
+  const Box2 box(50.0);
+  DrunkardParams params;
+  params.p_pause = 1.0;
+  params.step_radius = 5.0;
+  DrunkardModel<2> model(box, params);
+
+  auto positions = deploy(15, box, rng);
+  const auto initial = positions;
+  model.initialize(positions, rng);
+  for (int s = 0; s < 50; ++s) model.step(positions, rng);
+  EXPECT_DOUBLE_EQ(total_displacement(initial, positions), 0.0);
+}
+
+TEST(Drunkard, PauseProbabilityFreezesExpectedFraction) {
+  Rng rng(11);
+  const Box2 box(50.0);
+  DrunkardParams params;
+  params.p_pause = 0.3;
+  params.step_radius = 1.0;
+  DrunkardModel<2> model(box, params);
+
+  const std::size_t n = 500;
+  auto positions = deploy(n, box, rng);
+  model.initialize(positions, rng);
+
+  std::size_t paused_node_steps = 0;
+  const int steps = 100;
+  auto previous = positions;
+  for (int s = 0; s < steps; ++s) {
+    model.step(positions, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (distance(previous[i], positions[i]) < kEps) ++paused_node_steps;
+    }
+    previous = positions;
+  }
+  const double fraction = static_cast<double>(paused_node_steps) / (n * steps);
+  EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(Drunkard, StationaryNodesNeverMove) {
+  Rng rng(12);
+  const Box2 box(50.0);
+  DrunkardParams params;
+  params.p_stationary = 0.5;
+  params.step_radius = 5.0;
+  DrunkardModel<2> model(box, params);
+
+  auto positions = deploy(100, box, rng);
+  const auto initial = positions;
+  model.initialize(positions, rng);
+  const std::size_t expected_stationary = model.stationary_node_count();
+  for (int s = 0; s < 100; ++s) model.step(positions, rng);
+
+  std::size_t still = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (distance(initial[i], positions[i]) < kEps) ++still;
+  }
+  EXPECT_GE(still, expected_stationary);  // stationary nodes never moved
+}
+
+TEST(Drunkard, RejectsInvalidParameters) {
+  const Box2 box(10.0);
+  DrunkardParams bad_radius;
+  bad_radius.step_radius = 0.0;
+  EXPECT_THROW(DrunkardModel<2>(box, bad_radius), ConfigError);
+
+  DrunkardParams bad_pause;
+  bad_pause.p_pause = -0.1;
+  EXPECT_THROW(DrunkardModel<2>(box, bad_pause), ConfigError);
+}
+
+// -------------------------------------------------------------- stationary
+
+TEST(Stationary, NeverMovesAnything) {
+  Rng rng(13);
+  const Box2 box(20.0);
+  StationaryModel<2> model;
+  auto positions = deploy(10, box, rng);
+  const auto initial = positions;
+  model.initialize(positions, rng);
+  EXPECT_EQ(model.node_count(), 10u);
+  for (int s = 0; s < 20; ++s) model.step(positions, rng);
+  EXPECT_DOUBLE_EQ(total_displacement(initial, positions), 0.0);
+}
+
+// -------------------------------------------------- random direction (ext)
+
+TEST(RandomDirection, NodesStayInRegionAndMove) {
+  Rng rng(14);
+  const Box2 box(100.0);
+  RandomDirectionParams params;
+  params.v_min = 0.5;
+  params.v_max = 2.0;
+  params.p_turn = 0.05;
+  RandomDirectionModel<2> model(box, params);
+
+  auto positions = deploy(20, box, rng);
+  const auto initial = positions;
+  model.initialize(positions, rng);
+  for (int s = 0; s < 500; ++s) {
+    model.step(positions, rng);
+    for (const auto& p : positions) ASSERT_TRUE(box.contains(p));
+  }
+  EXPECT_GT(total_displacement(initial, positions), 0.0);
+}
+
+TEST(RandomDirection, ReflectionPreservesSpeed) {
+  Rng rng(15);
+  const Box2 box(10.0);
+  RandomDirectionParams params;
+  params.v_min = 3.0;
+  params.v_max = 3.0;
+  params.p_turn = 0.0;  // course never changes except by reflection
+  RandomDirectionModel<2> model(box, params);
+
+  auto positions = deploy(5, box, rng);
+  model.initialize(positions, rng);
+  auto previous = positions;
+  for (int s = 0; s < 200; ++s) {
+    model.step(positions, rng);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      // Reflection can shorten the displayed displacement at the wall but
+      // never lengthen it beyond the speed.
+      ASSERT_LE(distance(previous[i], positions[i]), 3.0 + kEps);
+    }
+    previous = positions;
+  }
+}
+
+// ------------------------------------------------------------------ factory
+
+TEST(Factory, CreatesEveryKind) {
+  const Box2 box(100.0);
+  MobilityConfig config;
+
+  config.kind = MobilityKind::kStationary;
+  EXPECT_EQ(make_mobility_model<2>(config, box)->name(), "stationary");
+
+  config = MobilityConfig::paper_waypoint(100.0);
+  EXPECT_EQ(make_mobility_model<2>(config, box)->name(), "random-waypoint");
+
+  config = MobilityConfig::paper_drunkard(100.0);
+  EXPECT_EQ(make_mobility_model<2>(config, box)->name(), "drunkard");
+
+  config.kind = MobilityKind::kRandomDirection;
+  config.direction.v_max = 1.0;
+  EXPECT_EQ(make_mobility_model<2>(config, box)->name(), "random-direction");
+}
+
+TEST(Factory, PaperDefaultsMatchSection42) {
+  const MobilityConfig waypoint = MobilityConfig::paper_waypoint(4096.0);
+  EXPECT_EQ(waypoint.kind, MobilityKind::kRandomWaypoint);
+  EXPECT_DOUBLE_EQ(waypoint.waypoint.p_stationary, 0.0);
+  EXPECT_DOUBLE_EQ(waypoint.waypoint.v_min, 0.1);
+  EXPECT_DOUBLE_EQ(waypoint.waypoint.v_max, 40.96);
+  EXPECT_EQ(waypoint.waypoint.pause_steps, 2000u);
+
+  const MobilityConfig drunkard = MobilityConfig::paper_drunkard(4096.0);
+  EXPECT_EQ(drunkard.kind, MobilityKind::kDrunkard);
+  EXPECT_DOUBLE_EQ(drunkard.drunkard.p_stationary, 0.1);
+  EXPECT_DOUBLE_EQ(drunkard.drunkard.p_pause, 0.3);
+  EXPECT_DOUBLE_EQ(drunkard.drunkard.step_radius, 40.96);
+}
+
+TEST(Factory, ParsesKindNames) {
+  EXPECT_EQ(parse_mobility_kind("stationary"), MobilityKind::kStationary);
+  EXPECT_EQ(parse_mobility_kind("waypoint"), MobilityKind::kRandomWaypoint);
+  EXPECT_EQ(parse_mobility_kind("random-waypoint"), MobilityKind::kRandomWaypoint);
+  EXPECT_EQ(parse_mobility_kind("drunkard"), MobilityKind::kDrunkard);
+  EXPECT_EQ(parse_mobility_kind("direction"), MobilityKind::kRandomDirection);
+  EXPECT_THROW(parse_mobility_kind("teleport"), ConfigError);
+}
+
+TEST(Factory, KindNamesRoundTrip) {
+  for (MobilityKind kind :
+       {MobilityKind::kStationary, MobilityKind::kRandomWaypoint, MobilityKind::kDrunkard,
+        MobilityKind::kRandomDirection}) {
+    EXPECT_EQ(parse_mobility_kind(mobility_kind_name(kind)), kind);
+  }
+}
+
+}  // namespace
+}  // namespace manet

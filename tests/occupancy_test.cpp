@@ -1,0 +1,261 @@
+#include "occupancy/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+using namespace occupancy;
+
+/// Monte-Carlo estimate of the empty-cell distribution for cross-checks.
+std::vector<double> simulate_empty_cell_pmf(std::uint64_t n, std::uint64_t C,
+                                            std::size_t trials, Rng& rng) {
+  std::vector<double> pmf(C + 1, 0.0);
+  std::vector<bool> occupied(C);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(occupied.begin(), occupied.end(), false);
+    for (std::uint64_t b = 0; b < n; ++b) occupied[rng.uniform_index(C)] = true;
+    std::uint64_t empty = 0;
+    for (bool o : occupied) {
+      if (!o) ++empty;
+    }
+    pmf[empty] += 1.0;
+  }
+  for (double& p : pmf) p /= static_cast<double>(trials);
+  return pmf;
+}
+
+TEST(LogBinomial, SmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(log_binomial(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(7, 7), 0.0, 1e-12);
+}
+
+TEST(LogBinomial, RejectsKGreaterThanN) {
+  EXPECT_THROW(log_binomial(3, 4), ContractViolation);
+}
+
+TEST(EmptyCellsPmf, SumsToOne) {
+  for (const auto [n, C] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {5, 3}, {10, 10}, {30, 12}, {100, 40}}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= C; ++k) total += empty_cells_pmf(n, C, k);
+    EXPECT_NEAR(total, 1.0, 1e-8) << "n=" << n << " C=" << C;
+  }
+}
+
+TEST(EmptyCellsPmf, HandDerivedTwoCells) {
+  // n balls in 2 cells: both occupied with prob 1 - 2^{1-n}; one empty with
+  // prob 2^{1-n}; both empty impossible for n >= 1.
+  for (std::uint64_t n : {1u, 2u, 3u, 5u, 10u}) {
+    const double p_one_empty = std::pow(2.0, 1.0 - static_cast<double>(n));
+    EXPECT_NEAR(empty_cells_pmf(n, 2, 1), p_one_empty, 1e-12) << "n=" << n;
+    EXPECT_NEAR(empty_cells_pmf(n, 2, 0), 1.0 - p_one_empty, 1e-12) << "n=" << n;
+    EXPECT_DOUBLE_EQ(empty_cells_pmf(n, 2, 2), 0.0);
+  }
+}
+
+TEST(EmptyCellsPmf, ZeroBallsLeavesAllCellsEmpty) {
+  EXPECT_DOUBLE_EQ(empty_cells_pmf(0, 5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(empty_cells_pmf(0, 5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(empty_cells_pmf(0, 5, 0), 0.0);
+}
+
+TEST(EmptyCellsPmf, FewerBallsThanCellsForcesEmptyCells) {
+  // With n < C, at most n cells are occupied, so fewer than C - n empty
+  // cells is impossible.
+  const std::uint64_t n = 3;
+  const std::uint64_t C = 8;
+  for (std::uint64_t k = 0; k < C - n; ++k) {
+    EXPECT_NEAR(empty_cells_pmf(n, C, k), 0.0, 1e-12) << "k=" << k;
+  }
+  EXPECT_GT(empty_cells_pmf(n, C, C - n), 0.0);
+}
+
+TEST(EmptyCellsPmf, MatchesMonteCarlo) {
+  Rng rng(1);
+  const std::uint64_t n = 20;
+  const std::uint64_t C = 10;
+  const auto simulated = simulate_empty_cell_pmf(n, C, 200000, rng);
+  for (std::uint64_t k = 0; k <= C; ++k) {
+    EXPECT_NEAR(empty_cells_pmf(n, C, k), simulated[k], 0.005) << "k=" << k;
+  }
+}
+
+TEST(EmptyCellsDistribution, AgreesWithPerKPmf) {
+  const std::uint64_t n = 18;
+  const std::uint64_t C = 9;
+  const auto pmf = empty_cells_distribution(n, C);
+  ASSERT_EQ(pmf.size(), C + 1);
+  for (std::uint64_t k = 0; k <= C; ++k) {
+    EXPECT_DOUBLE_EQ(pmf[k], empty_cells_pmf(n, C, k)) << "k=" << k;
+  }
+}
+
+TEST(EmptyCellsDistribution, IsExactForLargeParameters) {
+  // The positive-term DP stays a probability distribution even where the
+  // naive inclusion-exclusion would be destroyed by cancellation.
+  const std::uint64_t C = 400;
+  const std::uint64_t n = 1200;
+  const auto pmf = empty_cells_distribution(n, C);
+  double total = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(EmptyCellsDistribution, SingleCellIsAlwaysOccupied) {
+  const auto pmf = empty_cells_distribution(5, 1);
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+}
+
+TEST(ExpectedEmptyCells, MatchesPmfExpectation) {
+  for (const auto [n, C] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {10, 5}, {25, 20}, {60, 30}}) {
+    double from_pmf = 0.0;
+    for (std::uint64_t k = 0; k <= C; ++k) {
+      from_pmf += static_cast<double>(k) * empty_cells_pmf(n, C, k);
+    }
+    EXPECT_NEAR(expected_empty_cells(n, C), from_pmf, 1e-8) << "n=" << n << " C=" << C;
+  }
+}
+
+TEST(VarianceEmptyCells, MatchesPmfVariance) {
+  for (const auto [n, C] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {10, 5}, {25, 20}, {60, 30}}) {
+    double mean = 0.0;
+    double second = 0.0;
+    for (std::uint64_t k = 0; k <= C; ++k) {
+      const double p = empty_cells_pmf(n, C, k);
+      mean += static_cast<double>(k) * p;
+      second += static_cast<double>(k) * static_cast<double>(k) * p;
+    }
+    const double var_from_pmf = second - mean * mean;
+    EXPECT_NEAR(variance_empty_cells(n, C), var_from_pmf, 1e-7) << "n=" << n << " C=" << C;
+  }
+}
+
+TEST(ExpectedEmptyCells, UpperBoundOfTheorem1Holds) {
+  // E[mu] <= C e^{-n/C} for every n and C.
+  for (std::uint64_t C : {2u, 5u, 17u, 100u, 1000u}) {
+    for (std::uint64_t n : {0u, 1u, 5u, 50u, 500u, 5000u}) {
+      EXPECT_LE(expected_empty_cells(n, C),
+                expected_empty_cells_upper_bound(n, C) + 1e-12)
+          << "n=" << n << " C=" << C;
+    }
+  }
+}
+
+TEST(AsymptoticMoments, ConvergeToExactAsCGrows) {
+  // In the central domain (n = 2C) the relative error of the Theorem 1
+  // asymptotics must shrink as C grows.
+  double previous_error = 1.0;
+  for (std::uint64_t C : {10u, 100u, 1000u, 10000u}) {
+    const std::uint64_t n = 2 * C;
+    const double exact = expected_empty_cells(n, C);
+    const double asym = expected_empty_cells_asymptotic(n, C);
+    const double error = std::abs(exact - asym) / exact;
+    EXPECT_LT(error, previous_error);
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 1e-3);
+}
+
+TEST(AsymptoticVariance, CloseToExactForLargeC) {
+  const std::uint64_t C = 10000;
+  const std::uint64_t n = 2 * C;
+  const double exact = variance_empty_cells(n, C);
+  const double asym = variance_empty_cells_asymptotic(n, C);
+  EXPECT_NEAR(asym / exact, 1.0, 0.01);
+}
+
+TEST(ClassifyDomain, RecognizesTheFiveRegimes) {
+  const std::uint64_t C = 1u << 20;  // ~1e6
+  const auto sqrt_c = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(C)));
+  const auto c_log_c =
+      static_cast<std::uint64_t>(static_cast<double>(C) * std::log(static_cast<double>(C)));
+
+  EXPECT_EQ(classify_domain(sqrt_c, C), Domain::kLeftHand);
+  EXPECT_EQ(classify_domain(C / 100, C), Domain::kLeftIntermediate);
+  EXPECT_EQ(classify_domain(C, C), Domain::kCentral);
+  EXPECT_EQ(classify_domain(2 * C, C), Domain::kCentral);
+  EXPECT_EQ(classify_domain(6 * C, C), Domain::kRightIntermediate);
+  EXPECT_EQ(classify_domain(c_log_c, C), Domain::kRightHand);
+}
+
+TEST(ClassifyDomain, NamesAreStable) {
+  EXPECT_STREQ(domain_name(Domain::kLeftHand), "LHD");
+  EXPECT_STREQ(domain_name(Domain::kLeftIntermediate), "LHID");
+  EXPECT_STREQ(domain_name(Domain::kCentral), "CD");
+  EXPECT_STREQ(domain_name(Domain::kRightIntermediate), "RHID");
+  EXPECT_STREQ(domain_name(Domain::kRightHand), "RHD");
+}
+
+TEST(LimitLaw, NormalInCentralDomain) {
+  const std::uint64_t C = 1u << 16;
+  const std::uint64_t n = C;
+  const LimitLaw law = limit_law(n, C);
+  EXPECT_EQ(law.kind, LimitLaw::Kind::kNormal);
+  EXPECT_NEAR(law.location, expected_empty_cells(n, C), 1e-9);
+  EXPECT_NEAR(law.scale, std::sqrt(variance_empty_cells(n, C)), 1e-9);
+}
+
+TEST(LimitLaw, PoissonInRightHandDomain) {
+  const std::uint64_t C = 1u << 16;
+  const auto n = static_cast<std::uint64_t>(
+      static_cast<double>(C) * std::log(static_cast<double>(C)));
+  const LimitLaw law = limit_law(n, C);
+  EXPECT_EQ(law.kind, LimitLaw::Kind::kPoisson);
+  EXPECT_NEAR(law.location, expected_empty_cells(n, C), 1e-9);
+}
+
+TEST(LimitLaw, ShiftedPoissonInLeftHandDomain) {
+  const std::uint64_t C = 1u << 16;
+  const auto n = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(C)));
+  const LimitLaw law = limit_law(n, C);
+  EXPECT_EQ(law.kind, LimitLaw::Kind::kShiftedPoisson);
+  EXPECT_NEAR(law.shift, static_cast<double>(C - n), 1e-9);
+  EXPECT_NEAR(law.location, variance_empty_cells(n, C), 1e-9);
+}
+
+TEST(LimitLaw, NormalLawPredictsSimulatedDistribution) {
+  // Central domain: empirical mean/stddev of mu should match the law.
+  Rng rng(2);
+  const std::uint64_t C = 500;
+  const std::uint64_t n = 500;
+  const LimitLaw law = limit_law(n, C);
+  ASSERT_EQ(law.kind, LimitLaw::Kind::kNormal);
+
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int trials = 20000;
+  std::vector<bool> occupied(C);
+  for (int t = 0; t < trials; ++t) {
+    std::fill(occupied.begin(), occupied.end(), false);
+    for (std::uint64_t b = 0; b < n; ++b) occupied[rng.uniform_index(C)] = true;
+    std::uint64_t empty = 0;
+    for (bool o : occupied) {
+      if (!o) ++empty;
+    }
+    sum += static_cast<double>(empty);
+    sum2 += static_cast<double>(empty) * static_cast<double>(empty);
+  }
+  const double mean = sum / trials;
+  const double stddev = std::sqrt(sum2 / trials - mean * mean);
+  EXPECT_NEAR(mean, law.location, 3.0 * law.scale / std::sqrt(trials) + 0.5);
+  EXPECT_NEAR(stddev, law.scale, 0.05 * law.scale + 0.2);
+}
+
+}  // namespace
+}  // namespace manet

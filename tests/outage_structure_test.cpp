@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/availability.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+MtrmConfig outage_config() {
+  MtrmConfig config;
+  config.node_count = 12;
+  config.side = 144.0;
+  config.steps = 120;
+  config.iterations = 4;
+  config.mobility = MobilityConfig::paper_drunkard(144.0);
+  config.time_fractions = {1.0, 0.9, 0.5};
+  return config;
+}
+
+TEST(SolveOutageStructure, OneAggregatePerTimeFraction) {
+  Rng rng(1);
+  const MtrmConfig config = outage_config();
+  const auto aggregates = solve_outage_structure<2>(config, rng);
+  ASSERT_EQ(aggregates.size(), 3u);
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(aggregates[i].time_fraction, config.time_fractions[i]);
+    EXPECT_EQ(aggregates[i].availability.count(), config.iterations);
+    EXPECT_EQ(aggregates[i].outage_count.count(), config.iterations);
+  }
+}
+
+TEST(SolveOutageStructure, AvailabilityMeetsEachTimeFraction) {
+  Rng rng(2);
+  const auto aggregates = solve_outage_structure<2>(outage_config(), rng);
+  for (const OutageAggregate& aggregate : aggregates) {
+    // Operating at r_f guarantees availability >= f within every iteration.
+    EXPECT_GE(aggregate.availability.min(), aggregate.time_fraction - 1e-12);
+  }
+}
+
+TEST(SolveOutageStructure, FullConnectivityHasNoOutages) {
+  Rng rng(3);
+  const auto aggregates = solve_outage_structure<2>(outage_config(), rng);
+  const OutageAggregate& at_r100 = aggregates[0];
+  EXPECT_DOUBLE_EQ(at_r100.availability.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(at_r100.outage_count.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(at_r100.longest_outage.mean(), 0.0);
+}
+
+TEST(SolveOutageStructure, LowerFractionMeansSmallerRangeMoreDowntime) {
+  Rng rng(4);
+  const auto aggregates = solve_outage_structure<2>(outage_config(), rng);
+  EXPECT_GE(aggregates[0].operating_range.mean(), aggregates[1].operating_range.mean());
+  EXPECT_GE(aggregates[1].operating_range.mean(), aggregates[2].operating_range.mean());
+  EXPECT_GE(aggregates[1].availability.mean(), aggregates[2].availability.mean());
+  EXPECT_LE(aggregates[1].longest_outage.mean(), aggregates[2].longest_outage.mean());
+}
+
+TEST(SolveOutageStructure, DeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const auto ra = solve_outage_structure<2>(outage_config(), a);
+  const auto rb = solve_outage_structure<2>(outage_config(), b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].availability.mean(), rb[i].availability.mean());
+    EXPECT_DOUBLE_EQ(ra[i].longest_outage.mean(), rb[i].longest_outage.mean());
+  }
+}
+
+TEST(SolveOutageStructure, ValidatesConfig) {
+  Rng rng(6);
+  MtrmConfig config = outage_config();
+  config.node_count = 0;
+  EXPECT_THROW(solve_outage_structure<2>(config, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace manet

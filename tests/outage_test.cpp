@@ -1,0 +1,120 @@
+#include "sim/outage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "mobility/factory.hpp"
+#include "sim/mobile_trace.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+// Timeline shorthand: connected at range 1.0 iff entry <= 1.0; use 0.5 for
+// "up" and 2.0 for "down".
+constexpr double kUp = 0.5;
+constexpr double kDown = 2.0;
+
+TEST(AnalyzeOutages, AllConnected) {
+  const std::vector<double> timeline = {kUp, kUp, kUp, kUp};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.steps, 4u);
+  EXPECT_EQ(stats.connected_steps, 4u);
+  EXPECT_EQ(stats.outage_count, 0u);
+  EXPECT_EQ(stats.longest_outage, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_outage_length, 0.0);
+  EXPECT_EQ(stats.longest_uptime, 4u);
+  EXPECT_DOUBLE_EQ(stats.availability, 1.0);
+}
+
+TEST(AnalyzeOutages, AllDisconnected) {
+  const std::vector<double> timeline = {kDown, kDown, kDown};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.connected_steps, 0u);
+  EXPECT_EQ(stats.outage_count, 1u);
+  EXPECT_EQ(stats.longest_outage, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_outage_length, 3.0);
+  EXPECT_EQ(stats.longest_uptime, 0u);
+  EXPECT_DOUBLE_EQ(stats.availability, 0.0);
+}
+
+TEST(AnalyzeOutages, CountsMaximalRuns) {
+  // down down up down up up down : 3 outages of lengths 2, 1, 1.
+  const std::vector<double> timeline = {kDown, kDown, kUp, kDown, kUp, kUp, kDown};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.outage_count, 3u);
+  EXPECT_EQ(stats.longest_outage, 2u);
+  EXPECT_NEAR(stats.mean_outage_length, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.longest_uptime, 2u);
+  EXPECT_NEAR(stats.availability, 3.0 / 7.0, 1e-12);
+  // Outage starts at t = 0, 3, 6 -> mean spacing (6 - 0) / 2 = 3.
+  EXPECT_DOUBLE_EQ(stats.mean_steps_between_outages, 3.0);
+}
+
+TEST(AnalyzeOutages, SingleOutageHasNoSpacing) {
+  const std::vector<double> timeline = {kUp, kDown, kUp};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.outage_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_steps_between_outages, 0.0);
+}
+
+TEST(AnalyzeOutages, BoundaryExactlyAtRangeIsConnected) {
+  const std::vector<double> timeline = {1.0};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.connected_steps, 1u);
+}
+
+TEST(AnalyzeOutages, ValidatesInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(analyze_outages(empty, 1.0), ContractViolation);
+  const std::vector<double> one = {kUp};
+  EXPECT_THROW(analyze_outages(one, -0.1), ContractViolation);
+}
+
+TEST(AnalyzeOutages, AvailabilityMatchesTraceFraction) {
+  Rng rng(1);
+  const Box2 box(128.0);
+  auto model = make_mobility_model<2>(MobilityConfig::paper_drunkard(128.0), box);
+  const auto trace = run_mobile_trace<2>(12, box, 200, *model, rng);
+
+  for (double f : {0.1, 0.5, 0.9}) {
+    const double r = trace.range_for_time_fraction(f);
+    const OutageStats stats = analyze_outages(trace.critical_radius_timeline(), r);
+    EXPECT_NEAR(stats.availability, trace.fraction_of_time_connected(r), 1e-12);
+    EXPECT_GE(stats.availability, f - 1e-12);
+  }
+}
+
+TEST(AnalyzeOutages, TimelinePreservesSimulationOrder) {
+  Rng rng(2);
+  const Box2 box(128.0);
+  auto model = make_mobility_model<2>(MobilityConfig::paper_drunkard(128.0), box);
+  const auto trace = run_mobile_trace<2>(12, box, 50, *model, rng);
+  const auto timeline = trace.critical_radius_timeline();
+  const auto sorted = trace.sorted_critical_radii();
+  ASSERT_EQ(timeline.size(), sorted.size());
+  // Same multiset, different order (unless coincidentally sorted).
+  std::vector<double> copy(timeline.begin(), timeline.end());
+  std::sort(copy.begin(), copy.end());
+  for (std::size_t i = 0; i < copy.size(); ++i) EXPECT_EQ(copy[i], sorted[i]);
+}
+
+TEST(AnalyzeOutages, LargerRangeNeverLowersAvailabilityOrWorsensOutages) {
+  Rng rng(3);
+  const Box2 box(128.0);
+  auto model = make_mobility_model<2>(MobilityConfig::paper_drunkard(128.0), box);
+  const auto trace = run_mobile_trace<2>(12, box, 200, *model, rng);
+
+  const double r_small = trace.range_for_time_fraction(0.3);
+  const double r_large = trace.range_for_time_fraction(0.8);
+  const OutageStats small = analyze_outages(trace.critical_radius_timeline(), r_small);
+  const OutageStats large = analyze_outages(trace.critical_radius_timeline(), r_large);
+  EXPECT_GE(large.availability, small.availability);
+  EXPECT_LE(large.longest_outage, small.longest_outage);
+}
+
+}  // namespace
+}  // namespace manet

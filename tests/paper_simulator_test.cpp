@@ -1,0 +1,159 @@
+#include "core/paper_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+PaperSimulatorInput base_input() {
+  PaperSimulatorInput input;
+  input.r = 60.0;
+  input.n = 12;
+  input.l = 144.0;
+  input.iterations = 4;
+  input.steps = 50;
+  input.mobility = MobilityConfig::paper_drunkard(144.0);
+  return input;
+}
+
+TEST(PaperSimulatorInput, Validation) {
+  PaperSimulatorInput input = base_input();
+  EXPECT_NO_THROW(input.validate());
+
+  input.r = 0.0;
+  EXPECT_THROW(input.validate(), ConfigError);
+  input = base_input();
+
+  input.n = 0;
+  EXPECT_THROW(input.validate(), ConfigError);
+  input = base_input();
+
+  input.l = -1.0;
+  EXPECT_THROW(input.validate(), ConfigError);
+  input = base_input();
+
+  input.iterations = 0;
+  EXPECT_THROW(input.validate(), ConfigError);
+  input = base_input();
+
+  input.steps = 0;
+  EXPECT_THROW(input.validate(), ConfigError);
+}
+
+TEST(PaperSimulator, ReportsPerIterationAndOverall) {
+  Rng rng(1);
+  const PaperSimulatorInput input = base_input();
+  const PaperSimulatorOutput output = run_paper_simulator<2>(input, rng);
+  ASSERT_EQ(output.per_iteration.size(), input.iterations);
+  for (const auto& report : output.per_iteration) {
+    EXPECT_GE(report.connected_fraction, 0.0);
+    EXPECT_LE(report.connected_fraction, 1.0);
+    EXPECT_GE(report.min_largest, 1.0);
+    EXPECT_LE(report.min_largest, static_cast<double>(input.n));
+    EXPECT_LE(report.min_largest, report.mean_largest_when_disconnected + 1e-9);
+  }
+}
+
+TEST(PaperSimulator, OverallConnectedFractionIsTheMeanOfIterations) {
+  Rng rng(2);
+  const PaperSimulatorInput input = base_input();
+  const PaperSimulatorOutput output = run_paper_simulator<2>(input, rng);
+  double mean = 0.0;
+  for (const auto& report : output.per_iteration) mean += report.connected_fraction;
+  mean /= static_cast<double>(output.per_iteration.size());
+  EXPECT_NEAR(output.overall.connected_fraction, mean, 1e-9);
+}
+
+TEST(PaperSimulator, OverallMinIsTheMinimumOfIterations) {
+  Rng rng(3);
+  const PaperSimulatorOutput output = run_paper_simulator<2>(base_input(), rng);
+  double min_largest = 1e300;
+  for (const auto& report : output.per_iteration) {
+    min_largest = std::min(min_largest, report.min_largest);
+  }
+  EXPECT_DOUBLE_EQ(output.overall.min_largest, min_largest);
+}
+
+TEST(PaperSimulator, HugeRangeAlwaysConnected) {
+  Rng rng(4);
+  PaperSimulatorInput input = base_input();
+  input.r = 10.0 * input.l;
+  const PaperSimulatorOutput output = run_paper_simulator<2>(input, rng);
+  EXPECT_DOUBLE_EQ(output.overall.connected_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(output.overall.min_largest, static_cast<double>(input.n));
+  EXPECT_DOUBLE_EQ(output.overall.mean_largest_when_disconnected,
+                   static_cast<double>(input.n));
+}
+
+TEST(PaperSimulator, TinyRangeNeverConnected) {
+  Rng rng(5);
+  PaperSimulatorInput input = base_input();
+  input.r = 1e-6;
+  const PaperSimulatorOutput output = run_paper_simulator<2>(input, rng);
+  EXPECT_DOUBLE_EQ(output.overall.connected_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(output.overall.min_largest, 1.0);  // all singletons
+  EXPECT_NEAR(output.overall.mean_largest_when_disconnected, 1.0, 1e-9);
+}
+
+TEST(PaperSimulator, StepsOneIsTheStationaryCase) {
+  // "#steps = 1 corresponds to the stationary case": each iteration is one
+  // fresh deployment and the per-iteration connected fraction is 0 or 1.
+  Rng rng(6);
+  PaperSimulatorInput input = base_input();
+  input.steps = 1;
+  input.iterations = 30;
+  const PaperSimulatorOutput output = run_paper_simulator<2>(input, rng);
+  for (const auto& report : output.per_iteration) {
+    EXPECT_TRUE(report.connected_fraction == 0.0 || report.connected_fraction == 1.0);
+  }
+}
+
+TEST(PaperSimulator, ConnectedFractionIsMonotoneInRange) {
+  PaperSimulatorInput input = base_input();
+  std::vector<double> fractions;
+  for (double r : {20.0, 40.0, 60.0, 90.0, 140.0}) {
+    Rng rng(7);  // same randomness for every range
+    input.r = r;
+    fractions.push_back(run_paper_simulator<2>(input, rng).overall.connected_fraction);
+  }
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    EXPECT_GE(fractions[i], fractions[i - 1] - 1e-12);
+  }
+}
+
+TEST(PaperSimulator, DeterministicPerSeed) {
+  Rng a(8);
+  Rng b(8);
+  const auto ra = run_paper_simulator<2>(base_input(), a);
+  const auto rb = run_paper_simulator<2>(base_input(), b);
+  EXPECT_DOUBLE_EQ(ra.overall.connected_fraction, rb.overall.connected_fraction);
+  EXPECT_DOUBLE_EQ(ra.overall.min_largest, rb.overall.min_largest);
+}
+
+TEST(PaperSimulator, AgreesWithDirectTraceQueries) {
+  // One iteration: the facade must match MobileConnectivityTrace evaluated
+  // at the same seed and range.
+  const Box2 region(144.0);
+  const MobilityConfig mobility = MobilityConfig::paper_drunkard(144.0);
+  PaperSimulatorInput input = base_input();
+  input.iterations = 1;
+
+  Rng facade_rng(9);
+  const auto output = run_paper_simulator<2>(input, facade_rng);
+
+  Rng trace_rng(9);
+  Rng iteration_rng = trace_rng.split();  // the facade splits once per iteration
+  auto model = make_mobility_model<2>(mobility, region);
+  const auto trace = run_mobile_trace<2>(input.n, region, input.steps, *model, iteration_rng);
+
+  EXPECT_NEAR(output.per_iteration[0].connected_fraction,
+              trace.fraction_of_time_connected(input.r), 1e-12);
+  EXPECT_NEAR(output.per_iteration[0].min_largest,
+              trace.min_largest_fraction_at(input.r) * static_cast<double>(input.n), 1e-12);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,92 @@
+#include "sim/stationary_sample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(StationaryRangeSample, RejectsEmptySample) {
+  EXPECT_THROW(StationaryRangeSample({}), ContractViolation);
+}
+
+TEST(StationaryRangeSample, ProbabilityConnectedIsEmpiricalCdf) {
+  const StationaryRangeSample sample({3.0, 1.0, 2.0, 4.0});  // sorted: 1,2,3,4
+  EXPECT_DOUBLE_EQ(sample.probability_connected(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sample.probability_connected(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(sample.probability_connected(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(sample.probability_connected(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample.probability_connected(100.0), 1.0);
+}
+
+TEST(StationaryRangeSample, RangeForProbabilityIsOrderStatistic) {
+  const StationaryRangeSample sample({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(1.0), 4.0);
+  // Between order statistics: round up (ensure at least the fraction).
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(0.6), 3.0);
+  EXPECT_DOUBLE_EQ(sample.range_for_probability(0.01), 1.0);
+}
+
+TEST(StationaryRangeSample, RangeAndProbabilityAreConsistent) {
+  Rng rng(1);
+  const Box2 box(100.0);
+  const auto sample = sample_stationary_critical_ranges<2>(20, box, 200, rng);
+  for (double p : {0.5, 0.9, 0.99, 1.0}) {
+    const double r = sample.range_for_probability(p);
+    EXPECT_GE(sample.probability_connected(r), p - 1e-12);
+  }
+}
+
+TEST(StationaryRangeSample, RejectsBadProbability) {
+  const StationaryRangeSample sample({1.0});
+  EXPECT_THROW(sample.range_for_probability(0.0), ContractViolation);
+  EXPECT_THROW(sample.range_for_probability(1.1), ContractViolation);
+}
+
+TEST(StationaryRangeSample, MeanCriticalRange) {
+  const StationaryRangeSample sample({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(sample.mean_critical_range(), 2.0);
+}
+
+TEST(SampleStationaryCriticalRanges, TrialsAndDeterminism) {
+  const Box2 box(50.0);
+  Rng a(7);
+  Rng b(7);
+  const auto sa = sample_stationary_critical_ranges<2>(15, box, 50, a);
+  const auto sb = sample_stationary_critical_ranges<2>(15, box, 50, b);
+  EXPECT_EQ(sa.trials(), 50u);
+  ASSERT_EQ(sa.sorted_radii().size(), sb.sorted_radii().size());
+  for (std::size_t i = 0; i < sa.sorted_radii().size(); ++i) {
+    EXPECT_EQ(sa.sorted_radii()[i], sb.sorted_radii()[i]);
+  }
+}
+
+TEST(SampleStationaryCriticalRanges, MoreNodesNeedSmallerRanges) {
+  // With more nodes in the same region, the typical critical radius shrinks.
+  Rng rng(2);
+  const Box2 box(100.0);
+  const auto sparse = sample_stationary_critical_ranges<2>(10, box, 150, rng);
+  const auto dense = sample_stationary_critical_ranges<2>(80, box, 150, rng);
+  EXPECT_LT(dense.mean_critical_range(), sparse.mean_critical_range());
+}
+
+TEST(SampleStationaryCriticalRanges, RadiiAreBoundedByDiagonal) {
+  Rng rng(3);
+  const Box2 box(30.0);
+  const auto sample = sample_stationary_critical_ranges<2>(8, box, 100, rng);
+  for (double r : sample.sorted_radii()) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, box.diagonal());
+  }
+}
+
+}  // namespace
+}  // namespace manet

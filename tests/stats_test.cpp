@@ -1,0 +1,179 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(RunningStats, EmptyStateThrowsOnAccess) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_THROW(stats.mean(), ContractViolation);
+  EXPECT_THROW(stats.min(), ContractViolation);
+  EXPECT_THROW(stats.max(), ContractViolation);
+  EXPECT_THROW(stats.variance(), ContractViolation);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+  EXPECT_THROW(stats.sample_variance(), ContractViolation);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);           // population
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    all.add(x);
+    (i % 2 == 0 ? part_a : part_b).add(x);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), all.count());
+  EXPECT_NEAR(part_a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(part_a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(part_a.min(), all.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.5);
+
+  RunningStats target;
+  target.merge(stats);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(MeanConfidenceInterval, CoversTheMean) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(x);
+  const ConfidenceInterval ci = mean_confidence_interval(stats);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_GT(ci.width(), 0.0);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, 3.0, 1e-12);
+}
+
+TEST(MeanConfidenceInterval, ShrinksWithSampleSize) {
+  Rng rng(2);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_LT(mean_confidence_interval(large).width(),
+            mean_confidence_interval(small).width());
+}
+
+TEST(MeanConfidenceInterval, RequiresTwoSamples) {
+  RunningStats stats;
+  stats.add(1.0);
+  EXPECT_THROW(mean_confidence_interval(stats), ContractViolation);
+}
+
+TEST(QuantileSorted, EndpointsAndMedian) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 3.0);
+}
+
+TEST(QuantileSorted, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.75), 7.5);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> sorted = {42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.37), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 42.0);
+}
+
+TEST(QuantileSorted, RejectsEmptyAndBadQ) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(quantile_sorted(empty, 0.5), ContractViolation);
+  EXPECT_THROW(quantile_sorted(one, -0.1), ContractViolation);
+  EXPECT_THROW(quantile_sorted(one, 1.1), ContractViolation);
+}
+
+TEST(Quantiles, SortsInput) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> qs = {0.0, 0.5, 1.0};
+  const auto result = quantiles(values, qs);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0], 1.0);
+  EXPECT_DOUBLE_EQ(result[1], 3.0);
+  EXPECT_DOUBLE_EQ(result[2], 5.0);
+}
+
+TEST(Histogram, BinEdgesAndCounts) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_EQ(hist.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(4), 10.0);
+
+  hist.add(1.0);
+  hist.add(1.5);
+  hist.add(9.0);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 3u);
+  EXPECT_DOUBLE_EQ(hist.frequency(0), 2.0 / 3.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.add(-5.0);
+  hist.add(5.0);
+  hist.add(1.0);  // == hi, clamped into last bin
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 2u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, EmptyFrequencyIsZero) {
+  Histogram hist(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(hist.frequency(2), 0.0);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,82 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeadersAndBadRows) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+
+  // Header, separator, two rows.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+
+  // Both value cells start at the same column.
+  std::istringstream lines(text);
+  std::string header;
+  std::string separator;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, separator);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"x", "y"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::num(2.5, 0), "2");  // round-half-to-even at 0 digits
+}
+
+TEST(TextTable, EmptyTablePrintsHeaderOnly) {
+  TextTable table({"h1", "h2"});
+  std::ostringstream out;
+  table.print(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 2);  // header + separator
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,106 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+using namespace theory;
+
+TEST(ConnectivityThreshold1D, ScalesAsLLogLOverN) {
+  const double l = 1024.0;
+  EXPECT_DOUBLE_EQ(connectivity_threshold_range_1d(l, 32.0), l * std::log(l) / 32.0);
+  EXPECT_DOUBLE_EQ(connectivity_threshold_range_1d(l, 32.0, 0.5),
+                   0.5 * l * std::log(l) / 32.0);
+}
+
+TEST(ConnectivityThreshold1D, MonotoneInParameters) {
+  EXPECT_LT(connectivity_threshold_range_1d(1024.0, 64.0),
+            connectivity_threshold_range_1d(1024.0, 32.0));
+  EXPECT_LT(connectivity_threshold_range_1d(1024.0, 32.0),
+            connectivity_threshold_range_1d(4096.0, 32.0));
+}
+
+TEST(ConnectivityThreshold1D, RejectsBadInputs) {
+  EXPECT_THROW(connectivity_threshold_range_1d(1.0, 10.0), ContractViolation);
+  EXPECT_THROW(connectivity_threshold_range_1d(100.0, 0.0), ContractViolation);
+  EXPECT_THROW(connectivity_threshold_range_1d(100.0, 10.0, 0.0), ContractViolation);
+}
+
+TEST(WorstCaseRange, IsTheDiagonal) {
+  EXPECT_DOUBLE_EQ(worst_case_range(10.0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(worst_case_range(10.0, 2), 10.0 * std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(worst_case_range(10.0, 3), 10.0 * std::sqrt(3.0));
+  EXPECT_THROW(worst_case_range(10.0, 4), ContractViolation);
+  EXPECT_THROW(worst_case_range(0.0, 2), ContractViolation);
+}
+
+TEST(BestCaseRange1D, EquallySpacedNodes) {
+  EXPECT_DOUBLE_EQ(best_case_range_1d(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(best_case_range_1d(100.0, 100.0), 1.0);
+}
+
+TEST(Section3Comparison, RandomPlacementSitsBetweenBestAndWorst) {
+  // The Section 3 closing remark with n proportional to l: worst case
+  // Omega(l), random Theta(log l), best case Theta(1).
+  const double l = 4096.0;
+  const double n = l;  // n linear in l
+  const double best = best_case_range_1d(l, n);
+  const double random = connectivity_threshold_range_1d(l, n);
+  const double worst = worst_case_range(l, 1);
+  EXPECT_LT(best, random);
+  EXPECT_LT(random, worst);
+  EXPECT_NEAR(random, std::log(l), 1e-9);  // Theta(log l) with c = 1
+  EXPECT_DOUBLE_EQ(best, 1.0);
+}
+
+TEST(ClassifyRegime1D, IdentifiesAllFourRegimes) {
+  const double l = 65536.0;
+  const double n = 256.0;
+  const double log_l = std::log(l);
+
+  // rn << l
+  EXPECT_EQ(classify_regime_1d(l, n, l / n / 10.0), Regime1D::kSubcritical);
+  // l << rn << l log l  (midpoint on the log scale)
+  EXPECT_EQ(classify_regime_1d(l, n, l * std::sqrt(log_l) / n), Regime1D::kGapRegime);
+  // rn = Theta(l log l)
+  EXPECT_EQ(classify_regime_1d(l, n, l * log_l / n), Regime1D::kCritical);
+  // rn >> l log l
+  EXPECT_EQ(classify_regime_1d(l, n, 100.0 * l * log_l / n), Regime1D::kSupercritical);
+}
+
+TEST(ClassifyRegime1D, NamesAreStable) {
+  EXPECT_STREQ(regime_name(Regime1D::kSubcritical), "subcritical");
+  EXPECT_STREQ(regime_name(Regime1D::kGapRegime), "gap-regime");
+  EXPECT_STREQ(regime_name(Regime1D::kCritical), "critical");
+  EXPECT_STREQ(regime_name(Regime1D::kSupercritical), "supercritical");
+}
+
+TEST(Theorem4Epsilon, MatchesDeltaOverTwoPi) {
+  EXPECT_DOUBLE_EQ(theorem4_epsilon(2.0 * std::numbers::pi), 1.0);
+  EXPECT_NEAR(theorem4_epsilon(std::numbers::pi), 0.5, 1e-12);
+  EXPECT_THROW(theorem4_epsilon(0.0), ContractViolation);
+  EXPECT_THROW(theorem4_epsilon(7.0), ContractViolation);
+}
+
+TEST(RelativeEnergy, QuadraticDefault) {
+  EXPECT_DOUBLE_EQ(relative_energy(10.0, 5.0), 0.25);
+  EXPECT_DOUBLE_EQ(relative_energy(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(relative_energy(10.0, 0.0), 0.0);
+}
+
+TEST(RelativeEnergy, HigherPathLossAmplifiesSavings) {
+  // The paper's r90 ~ 0.6 r100 observation: energy at alpha=2 is 36%, at
+  // alpha=4 only 13%.
+  EXPECT_NEAR(relative_energy(1.0, 0.6, 2.0), 0.36, 1e-12);
+  EXPECT_NEAR(relative_energy(1.0, 0.6, 4.0), 0.1296, 1e-12);
+  EXPECT_LT(relative_energy(1.0, 0.6, 4.0), relative_energy(1.0, 0.6, 2.0));
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,81 @@
+#include "sim/threshold_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+TEST(BisectMinRange, FindsKnownThreshold) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 100.0;
+  options.tolerance = 1e-6;
+  const auto result = bisect_min_range(options, [](double r) { return r >= 37.25; });
+  EXPECT_NEAR(result.range, 37.25, 1e-5);
+  EXPECT_GE(result.range, 37.25);  // returned range always satisfies
+}
+
+TEST(BisectMinRange, ThresholdAtLowerEnd) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 10.0;
+  options.tolerance = 1e-6;
+  const auto result = bisect_min_range(options, [](double r) { return r >= 0.0; });
+  EXPECT_NEAR(result.range, 0.0, 1e-5);
+}
+
+TEST(BisectMinRange, ThresholdAtUpperEnd) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 10.0;
+  options.tolerance = 1e-6;
+  const auto result = bisect_min_range(options, [](double r) { return r >= 10.0; });
+  EXPECT_NEAR(result.range, 10.0, 1e-5);
+}
+
+TEST(BisectMinRange, ThrowsWhenHiDoesNotSatisfy) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  EXPECT_THROW(bisect_min_range(options, [](double) { return false; }), ContractViolation);
+}
+
+TEST(BisectMinRange, RespectsMaxIterations) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  options.tolerance = 1e-15;  // unreachable with the iteration cap
+  options.max_iterations = 5;
+  const auto result = bisect_min_range(options, [](double r) { return r >= 0.5; });
+  // 5 halvings of [0,1] -> interval width 1/32; the answer is within that.
+  EXPECT_NEAR(result.range, 0.5, 1.0 / 32.0 + 1e-12);
+  EXPECT_LE(result.evaluations, 6u);  // 1 for hi + 5 bisections
+}
+
+TEST(BisectMinRange, EvaluationCountIsLogarithmic) {
+  BisectionOptions options;
+  options.lo = 0.0;
+  options.hi = 1024.0;
+  options.tolerance = 1.0;
+  const auto result = bisect_min_range(options, [](double r) { return r >= 700.0; });
+  EXPECT_LE(result.evaluations, 12u);  // log2(1024) + hi check
+  EXPECT_NEAR(result.range, 700.0, 1.0);
+}
+
+TEST(BisectMinRange, ValidatesOptions) {
+  BisectionOptions bad;
+  bad.lo = 1.0;
+  bad.hi = 0.0;
+  EXPECT_THROW(bisect_min_range(bad, [](double) { return true; }), ContractViolation);
+
+  BisectionOptions zero_tol;
+  zero_tol.lo = 0.0;
+  zero_tol.hi = 1.0;
+  zero_tol.tolerance = 0.0;
+  EXPECT_THROW(bisect_min_range(zero_tol, [](double) { return true; }), ContractViolation);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,133 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(UnionFind, InitialStateIsAllSingletons) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.size(), 5u);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  EXPECT_EQ(dsu.largest_component_size(), 1u);
+  EXPECT_FALSE(dsu.all_connected());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.component_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, EmptyAndSingleton) {
+  UnionFind empty(0);
+  EXPECT_EQ(empty.component_count(), 0u);
+  EXPECT_EQ(empty.largest_component_size(), 0u);
+  EXPECT_TRUE(empty.all_connected());
+
+  UnionFind one(1);
+  EXPECT_EQ(one.component_count(), 1u);
+  EXPECT_EQ(one.largest_component_size(), 1u);
+  EXPECT_TRUE(one.all_connected());
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already merged
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_EQ(dsu.largest_component_size(), 2u);
+}
+
+TEST(UnionFind, ChainUnionsConnectEverything) {
+  UnionFind dsu(10);
+  for (std::size_t i = 0; i + 1 < 10; ++i) EXPECT_TRUE(dsu.unite(i, i + 1));
+  EXPECT_TRUE(dsu.all_connected());
+  EXPECT_EQ(dsu.component_count(), 1u);
+  EXPECT_EQ(dsu.largest_component_size(), 10u);
+  EXPECT_EQ(dsu.component_size(7), 10u);
+}
+
+TEST(UnionFind, LargestComponentTracksAcrossMerges) {
+  UnionFind dsu(8);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  dsu.unite(4, 5);
+  EXPECT_EQ(dsu.largest_component_size(), 2u);
+  dsu.unite(0, 2);  // size-4 component
+  EXPECT_EQ(dsu.largest_component_size(), 4u);
+  dsu.unite(6, 7);
+  EXPECT_EQ(dsu.largest_component_size(), 4u);  // unchanged
+  dsu.unite(4, 6);  // two size-4? no: {4,5,6,7} is size 4
+  EXPECT_EQ(dsu.largest_component_size(), 4u);
+  dsu.unite(0, 4);
+  EXPECT_EQ(dsu.largest_component_size(), 8u);
+  EXPECT_TRUE(dsu.all_connected());
+}
+
+TEST(UnionFind, ResetRestoresSingletons) {
+  UnionFind dsu(4);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  dsu.reset(6);
+  EXPECT_EQ(dsu.size(), 6u);
+  EXPECT_EQ(dsu.component_count(), 6u);
+  EXPECT_EQ(dsu.largest_component_size(), 1u);
+  EXPECT_FALSE(dsu.connected(0, 1));
+}
+
+TEST(UnionFind, FindOutOfRangeThrows) {
+  UnionFind dsu(3);
+  EXPECT_THROW(dsu.find(3), ContractViolation);
+}
+
+TEST(UnionFind, RandomizedComponentCountMatchesNaive) {
+  Rng rng(1);
+  const std::size_t n = 200;
+  UnionFind dsu(n);
+
+  // Naive labeling baseline.
+  std::vector<std::size_t> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = i;
+
+  for (int ops = 0; ops < 300; ++ops) {
+    const std::size_t a = rng.uniform_index(n);
+    const std::size_t b = rng.uniform_index(n);
+    if (a == b) continue;
+    dsu.unite(a, b);
+    const std::size_t from = label[a];
+    const std::size_t to = label[b];
+    if (from != to) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (label[i] == from) label[i] = to;
+      }
+    }
+  }
+
+  // Compare component structure.
+  std::vector<std::size_t> count_by_label(n, 0);
+  for (std::size_t i = 0; i < n; ++i) ++count_by_label[label[i]];
+  std::size_t naive_components = 0;
+  std::size_t naive_largest = 0;
+  for (std::size_t c : count_by_label) {
+    if (c > 0) {
+      ++naive_components;
+      naive_largest = std::max(naive_largest, c);
+    }
+  }
+  EXPECT_EQ(dsu.component_count(), naive_components);
+  EXPECT_EQ(dsu.largest_component_size(), naive_largest);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(dsu.connected(i, j), label[i] == label[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet
