@@ -23,7 +23,6 @@ int main(int argc, char** argv) {
 
   Rng rng(options->seed);
   const double l = 4096.0;
-  const std::size_t n = experiments::paper_node_count(l);
 
   TextTable table({"model", "f", "range", "availability", "outages", "longest outage",
                    "mean outage", "longest uptime"});

@@ -13,6 +13,7 @@
 #include "mobility/factory.hpp"
 #include "sim/deployment.hpp"
 #include "sim/mobile_trace.hpp"
+#include "support/contracts.hpp"
 #include "topology/critical_range.hpp"
 #include "topology/mst.hpp"
 
@@ -138,6 +139,52 @@ void BM_MobileTraceIteration(benchmark::State& state) {
                           static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_MobileTraceIteration)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Contract-overhead check (ISSUE: "compiled to nothing in Release").
+//
+// The two benchmarks below run the same accumulation loop with and without a
+// MANET_INVARIANT in the body. In Release / any NDEBUG build without
+// MANET_SANITIZE, MANET_ENABLE_CONTRACTS is 0 and the macro expands to an
+// unevaluated sizeof — the two benches must report identical times (the
+// condition `acc >= 0.0` is never even computed). In contract-enabled builds
+// they quantify the cost of one predicate per iteration.
+// ---------------------------------------------------------------------------
+
+void BM_PlainAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.uniform();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double v : values) acc += v;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(MANET_ENABLE_CONTRACTS ? "contracts=on" : "contracts=off");
+}
+BENCHMARK(BM_PlainAccumulate)->Arg(4096)->Arg(65536);
+
+void BM_ContractGuardedAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.uniform();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double v : values) {
+      acc += v;
+      MANET_INVARIANT(acc >= 0.0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(MANET_ENABLE_CONTRACTS ? "contracts=on" : "contracts=off");
+}
+BENCHMARK(BM_ContractGuardedAccumulate)->Arg(4096)->Arg(65536);
 
 }  // namespace
 

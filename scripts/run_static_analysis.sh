@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in src/, using a CMake compile database.
+# Exits non-zero on any finding, so the check is reproducible locally and
+# gates CI (.github/workflows/ci.yml) identically.
+#
+# Usage:
+#   scripts/run_static_analysis.sh [build-dir]
+#
+# Environment:
+#   CLANG_TIDY                 clang-tidy binary to use (default: autodetect).
+#   MANET_REQUIRE_CLANG_TIDY   when 1, a missing clang-tidy is an error
+#                              (exit 2) instead of a skip (exit 0). CI sets
+#                              this; developer machines without LLVM skip.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build/tidy"}"
+
+find_clang_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    command -v "${CLANG_TIDY}" && return 0
+  fi
+  local candidate
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! tidy_bin="$(find_clang_tidy)"; then
+  if [[ "${MANET_REQUIRE_CLANG_TIDY:-0}" == "1" ]]; then
+    echo "error: clang-tidy not found and MANET_REQUIRE_CLANG_TIDY=1" >&2
+    exit 2
+  fi
+  echo "warning: clang-tidy not found; skipping static analysis." >&2
+  echo "         (install LLVM or set CLANG_TIDY; set MANET_REQUIRE_CLANG_TIDY=1 to fail)" >&2
+  exit 0
+fi
+echo "using ${tidy_bin} ($("${tidy_bin}" --version | sed -n 's/.*version /version /p' | head -1))"
+
+# A compile database is required; configure one if the build dir lacks it.
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "configuring ${build_dir} for compile_commands.json"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "analyzing ${#sources[@]} translation units under src/"
+
+status=0
+if run_parallel="$(command -v run-clang-tidy || true)" && [[ -n "${run_parallel}" ]]; then
+  "${run_parallel}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" -quiet \
+      "${repo_root}/src/.*\.cpp" || status=$?
+else
+  for source in "${sources[@]}"; do
+    "${tidy_bin}" -p "${build_dir}" --quiet "${source}" || status=$?
+  done
+fi
+
+if [[ ${status} -ne 0 ]]; then
+  echo "static analysis FAILED: clang-tidy reported findings (see above)" >&2
+  exit 1
+fi
+echo "static analysis OK: no clang-tidy findings"

@@ -1,5 +1,6 @@
 #include "core/availability.hpp"
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -15,6 +16,10 @@ AvailabilityReport evaluate_availability(const MobileConnectivityTrace& trace, d
   report.full_availability = trace.fraction_of_time_connected(range);
   report.degraded_availability = trace.fraction_of_time_component_at_least(range, phi);
   report.mean_component_when_down = trace.mean_largest_fraction_when_disconnected(range);
+  // Degraded-mode availability dominates full availability: a connected graph
+  // always has its largest component at phi * n or more.
+  MANET_ENSURE(report.degraded_availability >= report.full_availability);
+  MANET_ENSURE(report.degraded_availability <= 1.0);
   return report;
 }
 

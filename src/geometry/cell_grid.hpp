@@ -9,6 +9,7 @@
 
 #include "geometry/box.hpp"
 #include "geometry/point.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -51,6 +52,9 @@ class CellGrid {
       ++cell_start_[cell_of[p] + 1];
     }
     for (std::size_t c = 1; c <= total_cells; ++c) cell_start_[c] += cell_start_[c - 1];
+    // The paper's occupancy argument needs every node accounted for: the
+    // per-cell counts must sum to exactly n after the prefix scan.
+    MANET_INVARIANT(cell_start_[total_cells] == points.size());
     point_ids_.resize(points.size());
     std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
     for (std::size_t p = 0; p < points.size(); ++p) point_ids_[cursor[cell_of[p]]++] = p;

@@ -4,6 +4,7 @@
 
 #include "geometry/box.hpp"
 #include "geometry/point.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -50,7 +51,10 @@ Point<D> uniform_in_ball_in_box(const Point<D>& center, double radius, const Box
   for (;;) {
     Point<D> p;
     for (int i = 0; i < D; ++i) p.coords[i] = rng.uniform(lo.coords[i], hi.coords[i]);
-    if (squared_distance(p, center) <= r2) return p;
+    if (squared_distance(p, center) <= r2) {
+      MANET_ENSURE(box.contains(p));
+      return p;
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -31,6 +32,19 @@ AdjacencyGraph::AdjacencyGraph(std::size_t n,
     std::sort(begin, end);
     MANET_EXPECTS(std::adjacent_find(begin, end) == end);  // no parallel edges
   }
+  MANET_INVARIANT(is_symmetric());
+}
+
+bool AdjacencyGraph::is_symmetric() const {
+  // Undirected-graph invariant: w in N(v) iff v in N(w). Every connectivity
+  // metric (BFS distances, components, diameter) silently assumes this.
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    for (std::size_t w : neighbors(v)) {
+      const auto back = neighbors(w);
+      if (!std::binary_search(back.begin(), back.end(), v)) return false;
+    }
+  }
+  return true;
 }
 
 std::span<const std::size_t> AdjacencyGraph::neighbors(std::size_t v) const {

@@ -24,6 +24,11 @@ class AdjacencyGraph {
 
   std::size_t degree(std::size_t v) const;
 
+  /// True when for every edge (v, w) the reverse (w, v) is present — the
+  /// undirected-graph invariant. O(E log deg); checked automatically at
+  /// construction in contract-enabled builds.
+  bool is_symmetric() const;
+
  private:
   std::vector<std::size_t> offsets_;
   std::vector<std::size_t> neighbors_;

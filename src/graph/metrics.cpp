@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
+
+#include "support/contracts.hpp"
 
 namespace manet {
 
@@ -57,6 +60,8 @@ std::vector<std::size_t> component_sizes(const AdjacencyGraph& graph) {
     sizes.push_back(size);
   }
   std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  // The components partition the vertex set.
+  MANET_ENSURE(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}) == n);
   return sizes;
 }
 

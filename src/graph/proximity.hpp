@@ -10,6 +10,7 @@
 #include "geometry/point.hpp"
 #include "graph/adjacency.hpp"
 #include "graph/union_find.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -84,6 +85,9 @@ ComponentSummary analyze_components(std::span<const Point<D>> points, const Box<
   for (std::size_t d : degree) {
     if (d == 0) ++summary.isolated_count;
   }
+  MANET_ENSURE(summary.largest_size >= 1 && summary.largest_size <= summary.node_count);
+  MANET_ENSURE(summary.component_count >= 1 && summary.component_count <= summary.node_count);
+  MANET_ENSURE(summary.isolated_count <= summary.node_count);
   return summary;
 }
 

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -34,6 +35,12 @@ bool UnionFind::unite(std::size_t a, std::size_t b) {
   size_[ra] += size_[rb];
   if (size_[ra] > largest_) largest_ = size_[ra];
   --components_;
+  // Size bookkeeping stays consistent: the merged root's size cannot exceed
+  // the universe, the cached largest component tracks it, and a non-empty
+  // structure always has at least one component.
+  MANET_INVARIANT(size_[ra] <= parent_.size());
+  MANET_INVARIANT(largest_ >= size_[ra]);
+  MANET_INVARIANT(components_ >= 1);
   return true;
 }
 

@@ -6,6 +6,7 @@
 #include "geometry/box.hpp"
 #include "geometry/sampling.hpp"
 #include "mobility/mobility_model.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -51,6 +52,7 @@ class RandomDirectionModel final : public MobilityModel<D> {
       Point<D>& pos = positions[i];
       pos += node.velocity;
       reflect(pos, node.velocity);
+      MANET_ENSURE(region_.contains(pos));  // reflection restored the position
     }
   }
 

@@ -5,6 +5,7 @@
 
 #include "geometry/box.hpp"
 #include "mobility/mobility_model.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -72,6 +73,9 @@ class RandomWaypointModel final : public MobilityModel<D> {
         const double scale = node.speed / dist;
         pos += (node.destination - pos) * scale;
       }
+      // Both endpoints of a leg lie in the region, so every intermediate
+      // position must too — the paper's trajectories never leave [0, l]^d.
+      MANET_ENSURE(region_.contains(pos));
     }
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "occupancy/occupancy.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet::exact_1d {
@@ -60,6 +61,7 @@ double probability_connected(std::uint64_t n, double r, double l) {
   if (max_term > 1e15L) return 0.0;
   if (p < max_term * 1e-12L) return 0.0;
   if (p > 1.0L) return 1.0;
+  MANET_ENSURE(p >= 0.0L && p <= 1.0L);  // a probability survived the cancellation guards
   return static_cast<double>(p);
 }
 
@@ -73,12 +75,14 @@ double range_for_probability(std::uint64_t n, double p, double l) {
   // 64 halvings: resolution l * 2^-64, far below double noise on any l used.
   for (int iteration = 0; iteration < 64 && hi - lo > 1e-15 * l; ++iteration) {
     const double mid = lo + (hi - lo) / 2.0;
+    MANET_INVARIANT(lo <= mid && mid <= hi);  // bracket stays ordered
     if (probability_connected(n, mid, l) >= p) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
+  MANET_ENSURE(hi >= 0.0 && hi <= l);
   return hi;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "occupancy/occupancy.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet::gap_pattern {
@@ -12,13 +13,19 @@ std::vector<bool> occupancy_bits(std::span<const Point1> nodes, double l, std::s
   MANET_EXPECTS(l > 0.0);
   MANET_EXPECTS(C >= 1);
   std::vector<bool> bits(C, false);
+  std::size_t occupied = 0;
   const double cell_len = l / static_cast<double>(C);
   for (const Point1& p : nodes) {
     const double x = p.coords[0];
     MANET_EXPECTS(x >= 0.0 && x <= l);
     const auto cell = std::min(static_cast<std::size_t>(x / cell_len), C - 1);
+    if (!bits[cell]) ++occupied;
     bits[cell] = true;
   }
+  // Every node landed in exactly one cell: the number of occupied cells is
+  // bounded by both the node count and the cell count (Theorem 5's n vs C
+  // bookkeeping).
+  MANET_ENSURE(occupied <= nodes.size() && occupied <= C);
   return bits;
 }
 
@@ -57,8 +64,11 @@ double pattern_probability(std::uint64_t n, std::uint64_t C) {
   for (std::uint64_t k = 0; k <= C; ++k) {
     const double p = pmf[static_cast<std::size_t>(k)];
     if (p == 0.0) continue;
-    total += pattern_probability_given_empty(C, k) * p;
+    const double conditional = pattern_probability_given_empty(C, k);
+    MANET_INVARIANT(conditional >= 0.0 && conditional <= 1.0);
+    total += conditional * p;
   }
+  MANET_ENSURE(total >= -1e-12 && total <= 1.0 + 1e-12);
   return std::clamp(total, 0.0, 1.0);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet::occupancy {
@@ -39,9 +40,16 @@ std::vector<double> empty_cells_distribution(std::uint64_t n, std::uint64_t C) {
   }
 
   std::vector<double> pmf(cells + 1, 0.0);
+  long double mass = 0.0L;
   for (std::size_t k = 0; k <= cells; ++k) {
     pmf[k] = static_cast<double>(occupied[cells - k]);
+    MANET_INVARIANT(pmf[k] >= 0.0 && pmf[k] <= 1.0);
+    mass += occupied[cells - k];
   }
+  // The recurrence conserves probability exactly up to rounding: the ball
+  // either lands in an occupied cell or opens a new one, so every (n, C)
+  // distribution must carry total mass 1.
+  MANET_ENSURE(std::abs(static_cast<double>(mass) - 1.0) < 1e-9);
   return pmf;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -53,8 +54,10 @@ MobileConnectivityTrace::MobileConnectivityTrace(
 
 double MobileConnectivityTrace::fraction_of_time_connected(double range) const {
   const auto it = std::upper_bound(sorted_rc_.begin(), sorted_rc_.end(), range);
-  return static_cast<double>(it - sorted_rc_.begin()) /
-         static_cast<double>(sorted_rc_.size());
+  const double f = static_cast<double>(it - sorted_rc_.begin()) /
+                   static_cast<double>(sorted_rc_.size());
+  MANET_ENSURE(f >= 0.0 && f <= 1.0);
+  return f;
 }
 
 double MobileConnectivityTrace::range_for_time_fraction(double f) const {
@@ -100,7 +103,9 @@ double MobileConnectivityTrace::mean_largest_fraction_when_disconnected(double r
     }
   }
   if (disconnected == 0) return 1.0;
-  return sum / static_cast<double>(disconnected);
+  const double mean = sum / static_cast<double>(disconnected);
+  MANET_ENSURE(mean >= 0.0 && mean <= 1.0);
+  return mean;
 }
 
 double MobileConnectivityTrace::min_largest_fraction_at(double range) const {

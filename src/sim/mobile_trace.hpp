@@ -4,9 +4,12 @@
 #include <span>
 #include <vector>
 
+#include <algorithm>
+
 #include "geometry/box.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/deployment.hpp"
+#include "support/contracts.hpp"
 #include "support/rng.hpp"
 #include "topology/critical_range.hpp"
 
@@ -111,6 +114,10 @@ MobileConnectivityTrace run_mobile_trace(std::size_t n, const Box<D>& box, std::
   curves.push_back(largest_component_curve<D>(positions));
   for (std::size_t s = 1; s < steps; ++s) {
     model.step(positions, rng);
+    // Whatever the model did, the trace must stay inside the deployment
+    // region: every downstream occupancy / connectivity argument assumes it.
+    MANET_INVARIANT(std::all_of(positions.begin(), positions.end(),
+                                [&box](const Point<D>& p) { return box.contains(p); }));
     curves.push_back(largest_component_curve<D>(positions));
   }
   return MobileConnectivityTrace(n, std::move(curves));

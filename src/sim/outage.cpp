@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -38,8 +39,11 @@ OutageStats analyze_outages(std::span<const double> critical_radius_timeline, do
     }
   }
 
+  // Connected and outage steps partition the timeline.
+  MANET_ENSURE(stats.connected_steps + total_outage_steps == stats.steps);
   stats.availability =
       static_cast<double>(stats.connected_steps) / static_cast<double>(stats.steps);
+  MANET_ENSURE(stats.availability >= 0.0 && stats.availability <= 1.0);
   if (stats.outage_count > 0) {
     stats.mean_outage_length =
         static_cast<double>(total_outage_steps) / static_cast<double>(stats.outage_count);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -15,7 +16,10 @@ StationaryRangeSample::StationaryRangeSample(std::vector<double> critical_radii)
 
 double StationaryRangeSample::probability_connected(double range) const {
   const auto it = std::upper_bound(radii_.begin(), radii_.end(), range);
-  return static_cast<double>(it - radii_.begin()) / static_cast<double>(radii_.size());
+  const double p =
+      static_cast<double>(it - radii_.begin()) / static_cast<double>(radii_.size());
+  MANET_ENSURE(p >= 0.0 && p <= 1.0);
+  return p;
 }
 
 double StationaryRangeSample::range_for_probability(double p) const {

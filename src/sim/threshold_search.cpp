@@ -1,5 +1,6 @@
 #include "sim/threshold_search.hpp"
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -22,6 +23,7 @@ BisectionResult bisect_min_range(const BisectionOptions& options,
   // Invariant: satisfied(hi) == true; satisfied(lo) unknown-or-false.
   for (std::size_t i = 0; i < options.max_iterations && hi - lo > options.tolerance; ++i) {
     const double mid = lo + (hi - lo) / 2.0;
+    MANET_INVARIANT(lo <= mid && mid <= hi);  // bracket stays ordered
     ++result.evaluations;
     if (satisfied(mid)) {
       hi = mid;
@@ -29,6 +31,7 @@ BisectionResult bisect_min_range(const BisectionOptions& options,
       lo = mid;
     }
   }
+  MANET_ENSURE(options.lo <= hi && hi <= options.hi);
   result.range = hi;
   return result;
 }

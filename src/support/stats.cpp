@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 
 namespace manet {
@@ -40,6 +41,9 @@ double RunningStats::mean() const {
 
 double RunningStats::variance() const {
   MANET_EXPECTS(count_ > 0);
+  // Welford's M2 accumulates non-negative increments; a negative value means
+  // the merge algebra was broken, not rounding noise.
+  MANET_INVARIANT(m2_ >= 0.0);
   return m2_ / static_cast<double>(count_);
 }
 
@@ -126,7 +130,9 @@ double Histogram::bin_hi(std::size_t bin) const {
 double Histogram::frequency(std::size_t bin) const {
   MANET_EXPECTS(bin < counts_.size());
   if (total_ == 0) return 0.0;
-  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+  const double f = static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+  MANET_ENSURE(f >= 0.0 && f <= 1.0);
+  return f;
 }
 
 }  // namespace manet

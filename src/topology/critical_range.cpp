@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/contracts.hpp"
+
 namespace manet {
 
 LargestComponentCurve::LargestComponentCurve(std::size_t n, std::vector<WeightedEdge> mst_edges)
@@ -32,6 +34,13 @@ LargestComponentCurve::LargestComponentCurve(std::size_t n, std::vector<Weighted
   }
   MANET_ENSURES(dsu.all_connected());
   MANET_ENSURES(breakpoints_.back().size == n);
+  // The curve is a nondecreasing step function: ranges and sizes both ascend.
+  MANET_INVARIANT(std::is_sorted(
+      breakpoints_.begin(), breakpoints_.end(),
+      [](const Breakpoint& a, const Breakpoint& b) { return a.range < b.range; }));
+  MANET_INVARIANT(std::is_sorted(
+      breakpoints_.begin(), breakpoints_.end(),
+      [](const Breakpoint& a, const Breakpoint& b) { return a.size < b.size; }));
 }
 
 std::size_t LargestComponentCurve::largest_component_at(double range) const {

@@ -1,0 +1,96 @@
+// Tests for the runtime-contract layer (src/support/contracts.hpp).
+//
+// These tests change shape with the build flavor on purpose:
+//  * contract-enabled builds (Debug, or any MANET_SANITIZE preset) verify
+//    that a violated contract aborts with a diagnostic, both for the bare
+//    macros and for a real trust boundary (a mobility model that escapes the
+//    deployment region);
+//  * Release builds verify that the macros compile to nothing — the guarded
+//    expression must not even be evaluated.
+
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "geometry/box.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/mobile_trace.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+#if MANET_ENABLE_CONTRACTS
+
+TEST(ContractsDeathTest, ExpectAbortsOnViolation) {
+  EXPECT_DEATH(MANET_EXPECT(1 + 1 == 3), "MANET contract violated: 1 \\+ 1 == 3");
+}
+
+TEST(ContractsDeathTest, EnsureAbortsOnViolation) {
+  EXPECT_DEATH(MANET_ENSURE(false), "postcondition");
+}
+
+TEST(ContractsDeathTest, InvariantAbortsOnViolation) {
+  EXPECT_DEATH(MANET_INVARIANT(2 > 3), "invariant");
+}
+
+TEST(Contracts, SatisfiedContractsAreSilent) {
+  MANET_EXPECT(1 + 1 == 2);
+  MANET_ENSURE(true);
+  MANET_INVARIANT(3 > 2);
+  SUCCEED();
+}
+
+/// A pathological model that teleports node 0 outside [0, l]^2: the
+/// region-confinement invariant in run_mobile_trace must catch it.
+class EscapingModel final : public MobilityModel<2> {
+ public:
+  void initialize(std::span<const Point2> positions, Rng&) override {
+    n_ = positions.size();
+  }
+  void step(std::span<Point2> positions, Rng&) override {
+    positions[0].coords[0] = 1e9;
+  }
+  std::string name() const override { return "escaping"; }
+  std::size_t node_count() const override { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+TEST(ContractsDeathTest, MobilityEscapingTheRegionTripsTraceInvariant) {
+  EXPECT_DEATH(
+      {
+        Rng rng(7);
+        const Box2 box(10.0);
+        EscapingModel model;
+        run_mobile_trace<2>(8, box, 3, model, rng);
+      },
+      "MANET contract violated");
+}
+
+#else  // MANET_ENABLE_CONTRACTS == 0
+
+TEST(Contracts, CompiledOutInRelease) {
+  // The disabled macros must not evaluate their argument at all; an
+  // increment smuggled into the condition proves it.
+  int evaluations = 0;
+  MANET_EXPECT(++evaluations > 0);
+  MANET_ENSURE(++evaluations > 0);
+  MANET_INVARIANT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contracts, ViolationsAreIgnoredInRelease) {
+  MANET_EXPECT(false);
+  MANET_ENSURE(1 + 1 == 3);
+  MANET_INVARIANT(2 > 3);
+  SUCCEED();
+}
+
+#endif  // MANET_ENABLE_CONTRACTS
+
+}  // namespace
+}  // namespace manet

@@ -54,6 +54,67 @@ TEST(HasGapPattern, RejectsConsecutiveOnes) {
   EXPECT_FALSE(has_gap_pattern({false, false, true, false, false}));
 }
 
+TEST(HasGapPattern, BoundaryCellsAnchorThePattern) {
+  // `10*1` with the flanking 1s at the very first / very last cell — the
+  // off-by-one-prone boundary of the scan.
+  EXPECT_TRUE(has_gap_pattern({true, false, false, false, false, true}));
+  // Pattern confined to the start: gap closed by a 1 before the end.
+  EXPECT_TRUE(has_gap_pattern({true, false, true, false, false, false}));
+  // Pattern confined to the end.
+  EXPECT_TRUE(has_gap_pattern({false, false, false, true, false, true}));
+  // Leading / trailing zeros alone never form a pattern: a gap needs
+  // occupied cells on *both* sides.
+  EXPECT_FALSE(has_gap_pattern({false, false, true, true, true}));
+  EXPECT_FALSE(has_gap_pattern({true, true, true, false, false}));
+  EXPECT_FALSE(has_gap_pattern({false, true, true, true, false}));
+}
+
+TEST(HasGapPattern, AllEmptyAndAllOccupiedStrings) {
+  for (std::size_t C : {1u, 2u, 7u, 64u}) {
+    EXPECT_FALSE(has_gap_pattern(std::vector<bool>(C, false))) << "C=" << C;
+    EXPECT_FALSE(has_gap_pattern(std::vector<bool>(C, true))) << "C=" << C;
+    EXPECT_TRUE(ones_are_consecutive(std::vector<bool>(C, false))) << "C=" << C;
+    EXPECT_TRUE(ones_are_consecutive(std::vector<bool>(C, true))) << "C=" << C;
+  }
+}
+
+TEST(OccupancyBits, SingleCellInputs) {
+  // C = 1: every node lands in the one cell; no gap pattern can exist.
+  const std::vector<Point1> nodes = {{{0.0}}, {{5.0}}, {{10.0}}};
+  const auto bits = occupancy_bits(nodes, 10.0, 1);
+  ASSERT_EQ(bits.size(), 1u);
+  EXPECT_TRUE(bits[0]);
+  EXPECT_FALSE(has_gap_pattern(bits));
+
+  // C = 1 with no nodes: the all-empty single-cell string.
+  const auto empty_bits = occupancy_bits({}, 10.0, 1);
+  ASSERT_EQ(empty_bits.size(), 1u);
+  EXPECT_FALSE(empty_bits[0]);
+  EXPECT_FALSE(has_gap_pattern(empty_bits));
+}
+
+TEST(OccupancyBits, NodesAtExactCellBoundaries) {
+  // x = l lands in the last cell; x = 0 in the first; interior boundaries
+  // (x = k * l/C) land in cell k. With nodes only at the two extremes the
+  // occupancy string is 1 0...0 1 — the canonical `10*1` pattern.
+  const std::vector<Point1> extremes = {{{0.0}}, {{10.0}}};
+  const auto bits = occupancy_bits(extremes, 10.0, 5);
+  EXPECT_TRUE(bits.front());
+  EXPECT_TRUE(bits.back());
+  EXPECT_TRUE(has_gap_pattern(bits));
+
+  const std::vector<Point1> boundary = {{{4.0}}};  // 4.0 / (10/5) = cell 2 exactly
+  const auto boundary_bits = occupancy_bits(boundary, 10.0, 5);
+  EXPECT_TRUE(boundary_bits[2]);
+}
+
+TEST(PatternProbabilityGivenEmpty, SingleCellIsDegenerate) {
+  // C = 1 admits only k = 0 (occupied) or k = 1 (empty); both preclude the
+  // pattern.
+  EXPECT_DOUBLE_EQ(pattern_probability_given_empty(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pattern_probability_given_empty(1, 1), 0.0);
+}
+
 TEST(OnesAreConsecutive, IsComplementOfGapPattern) {
   const std::vector<std::vector<bool>> cases = {
       {}, {true}, {true, false, true}, {false, true, true}, {true, false, false, true}};

@@ -46,7 +46,9 @@ TEST_P(CriticalRangeProperty, ConnectivityIsMonotoneAndFlipsAtCriticalRange) {
   bool was_connected = false;
   for (double r = rc / 8.0; r <= rc * 4.0; r *= 1.5) {
     const bool connected = analyze_components<2>(points, box, r).connected();
-    if (was_connected) EXPECT_TRUE(connected) << "connectivity lost as r grew";
+    if (was_connected) {
+      EXPECT_TRUE(connected) << "connectivity lost as r grew";
+    }
     was_connected = connected;
   }
 }
