@@ -11,6 +11,10 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
                  "stationary critical-radius quantile defining r_stationary", "0.95");
   cli.add_option("iterations", "override: independent runs per data point", "");
   cli.add_option("steps", "override: mobility steps per run", "");
+  cli.add_option("threads",
+                 "worker threads for the trial engine (0 = MANET_THREADS / "
+                 "hardware default, 1 = serial; results are identical)",
+                 "0");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
 
   try {
@@ -39,6 +43,8 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
   if (cli.was_set("steps")) {
     options.steps = static_cast<std::size_t>(cli.uint_value("steps"));
   }
+  options.threads = static_cast<std::size_t>(cli.uint_value("threads"));
+  if (options.threads != 0) set_max_parallelism(options.threads);
   return options;
 }
 
@@ -83,26 +89,55 @@ std::string l_label(double l) {
   return std::to_string(static_cast<int>(l));
 }
 
+namespace {
+
+/// One measured figure data point: the stationary reference (when the figure
+/// normalizes by it) and the MTRM solution.
+struct FigurePoint {
+  double rs = 0.0;
+  MtrmResult result;
+};
+
+/// Fans the l-sweep data points out through the parallel engine: point i
+/// draws from the order-independent substream of (options.seed, i), so the
+/// table is bit-identical at any thread count, and each point's iteration
+/// fan-out nests inside the same pool.
+std::vector<FigurePoint> solve_l_sweep(const FigureOptions& options, bool drunkard,
+                                       bool with_stationary_reference) {
+  const ScaleParams scale = options.scale();
+  const auto l_values = experiments::figure_l_values();
+  return parallel_for_trials(
+      l_values.size(), options.seed, [&](std::size_t li, Rng& point_rng) {
+        const double l = l_values[li];
+        const std::size_t n = experiments::paper_node_count(l);
+
+        FigurePoint point;
+        if (with_stationary_reference) {
+          point.rs = stationary_reference_range(l, n, scale.stationary_trials,
+                                                options.rs_quantile, point_rng);
+        }
+        MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
+                                     : experiments::waypoint_experiment(l, options.preset);
+        apply_scale(config, options);
+        point.result = solve_mtrm<2>(config, point_rng);
+        return point;
+      });
+}
+
+}  // namespace
+
 void run_ratio_figure(const FigureOptions& options, bool drunkard,
                       const std::string& title, const std::vector<PaperSeries>& paper) {
-  Rng rng(options.seed);
-  const ScaleParams scale = options.scale();
-
   TextTable table({"l", "n", "r_stationary", "r100/rs", "paper", "r90/rs", "paper",
                    "r10/rs", "paper", "r0/rs", "paper"});
 
   const auto l_values = experiments::figure_l_values();
+  const auto points = solve_l_sweep(options, drunkard, /*with_stationary_reference=*/true);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);
-
-    Rng point_rng = rng.split();
-    const double rs = stationary_reference_range(l, n, scale.stationary_trials, options.rs_quantile, point_rng);
-
-    MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
-                                 : experiments::waypoint_experiment(l, options.preset);
-    apply_scale(config, options);
-    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+    const double rs = points[li].rs;
+    const MtrmResult& result = points[li].result;
 
     table.add_row({l_label(l), std::to_string(n), TextTable::num(rs, 1),
                    TextTable::num(result.range_for_time[0].mean() / rs, 3),
@@ -119,20 +154,14 @@ void run_ratio_figure(const FigureOptions& options, bool drunkard,
 
 void run_component_figure(const FigureOptions& options, bool drunkard,
                           const std::string& title, const std::vector<PaperSeries>& paper) {
-  Rng rng(options.seed);
-
   TextTable table({"l", "n", "LCC@r90", "paper", "LCC@r10", "paper", "LCC@r0", "paper"});
 
   const auto l_values = experiments::figure_l_values();
+  const auto points = solve_l_sweep(options, drunkard, /*with_stationary_reference=*/false);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);
-
-    Rng point_rng = rng.split();
-    MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
-                                 : experiments::waypoint_experiment(l, options.preset);
-    apply_scale(config, options);
-    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+    const MtrmResult& result = points[li].result;
 
     table.add_row({l_label(l), std::to_string(n),
                    TextTable::num(result.lcc_at_range_for_time[1].mean(), 3),

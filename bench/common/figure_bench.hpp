@@ -27,6 +27,10 @@ struct FigureOptions {
   /// Explicit overrides (win over the preset when set).
   std::optional<std::size_t> iterations;
   std::optional<std::size_t> steps;
+  /// Worker threads for the parallel trial engine (support/parallel.hpp);
+  /// 0 keeps the MANET_THREADS / hardware default, 1 forces the serial
+  /// path. Results are bit-identical at any setting.
+  std::size_t threads = 0;
 
   ScaleParams scale() const {
     ScaleParams params = scale_for(preset);

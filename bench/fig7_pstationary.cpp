@@ -35,19 +35,26 @@ int main(int argc, char** argv) {
     return 1.0;
   };
 
-  TextTable table({"p_stationary", "r100/rs", "paper (approx)"});
-  for (double p : experiments::figure7_pstationary_values()) {
-    Rng point_rng = rng.split();
+  // Per-data-point fan-out: one config per p, solved through the parallel
+  // trial engine (bit-identical at any thread count, results in p order).
+  const auto p_values = experiments::figure7_pstationary_values();
+  std::vector<MtrmConfig> configs;
+  configs.reserve(p_values.size());
+  for (double p : p_values) {
     MtrmConfig config = experiments::sweep_base_config(options->preset);
     apply_scale(config, *options);
     config.mobility.waypoint.p_stationary = p;
     config.component_fractions.clear();  // only r100 is needed here
     config.time_fractions = {1.0};
-    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+    configs.push_back(config);
+  }
+  const auto results = experiments::solve_mtrm_sweep(configs, options->seed);
 
-    table.add_row({TextTable::num(p, 2),
-                   TextTable::num(result.range_for_time[0].mean() / rs, 3),
-                   TextTable::num(paper_value(p), 2)});
+  TextTable table({"p_stationary", "r100/rs", "paper (approx)"});
+  for (std::size_t i = 0; i < p_values.size(); ++i) {
+    table.add_row({TextTable::num(p_values[i], 2),
+                   TextTable::num(results[i].range_for_time[0].mean() / rs, 3),
+                   TextTable::num(paper_value(p_values[i]), 2)});
   }
   print_result(table, *options, "Figure 7 — r100 / r_stationary vs p_stationary");
   return 0;

@@ -31,19 +31,26 @@ int main(int argc, char** argv) {
     return 1.05 - 0.03 * (t - 6000.0) / 4000.0;
   };
 
-  TextTable table({"t_pause", "r100/rs", "paper (approx)"});
-  for (double t_pause : experiments::figure8_tpause_values()) {
-    Rng point_rng = rng.split();
+  // Per-data-point fan-out: one config per t_pause, solved through the
+  // parallel trial engine (bit-identical at any thread count).
+  const auto t_values = experiments::figure8_tpause_values();
+  std::vector<MtrmConfig> configs;
+  configs.reserve(t_values.size());
+  for (double t_pause : t_values) {
     MtrmConfig config = experiments::sweep_base_config(options->preset);
     apply_scale(config, *options);
     config.mobility.waypoint.pause_steps = static_cast<std::size_t>(t_pause);
     config.component_fractions.clear();
     config.time_fractions = {1.0};
-    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+    configs.push_back(config);
+  }
+  const auto results = experiments::solve_mtrm_sweep(configs, options->seed);
 
-    table.add_row({TextTable::num(t_pause, 0),
-                   TextTable::num(result.range_for_time[0].mean() / rs, 3),
-                   TextTable::num(paper_value(t_pause), 2)});
+  TextTable table({"t_pause", "r100/rs", "paper (approx)"});
+  for (std::size_t i = 0; i < t_values.size(); ++i) {
+    table.add_row({TextTable::num(t_values[i], 0),
+                   TextTable::num(results[i].range_for_time[0].mean() / rs, 3),
+                   TextTable::num(paper_value(t_values[i]), 2)});
   }
   print_result(table, *options, "Figure 8 — r100 / r_stationary vs t_pause");
   return 0;

@@ -31,19 +31,26 @@ int main(int argc, char** argv) {
     return 1.05;
   };
 
-  TextTable table({"v_max/l", "v_max", "r100/rs", "paper (approx)"});
-  for (double fraction : experiments::figure9_vmax_fractions()) {
-    Rng point_rng = rng.split();
+  // Per-data-point fan-out: one config per v_max, solved through the
+  // parallel trial engine (bit-identical at any thread count).
+  const auto fractions = experiments::figure9_vmax_fractions();
+  std::vector<MtrmConfig> configs;
+  configs.reserve(fractions.size());
+  for (double fraction : fractions) {
     MtrmConfig config = experiments::sweep_base_config(options->preset);
     apply_scale(config, *options);
     config.mobility.waypoint.v_max = fraction * l;
     config.component_fractions.clear();
     config.time_fractions = {1.0};
-    const MtrmResult result = solve_mtrm<2>(config, point_rng);
+    configs.push_back(config);
+  }
+  const auto results = experiments::solve_mtrm_sweep(configs, options->seed);
 
-    table.add_row({TextTable::num(fraction, 2), TextTable::num(fraction * l, 1),
-                   TextTable::num(result.range_for_time[0].mean() / rs, 3),
-                   TextTable::num(paper_value(fraction), 2)});
+  TextTable table({"v_max/l", "v_max", "r100/rs", "paper (approx)"});
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    table.add_row({TextTable::num(fractions[i], 2), TextTable::num(fractions[i] * l, 1),
+                   TextTable::num(results[i].range_for_time[0].mean() / rs, 3),
+                   TextTable::num(paper_value(fractions[i]), 2)});
   }
   print_result(table, *options, "Figure 9 — r100 / r_stationary vs v_max");
   return 0;

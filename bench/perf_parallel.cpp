@@ -1,0 +1,111 @@
+// Thread-scaling benchmark of the deterministic parallel Monte-Carlo engine
+// (support/parallel.hpp): one fixed MTRM workload solved at 1 / 2 / 4 / 8
+// threads, reported as JSON. Because the engine guarantees bit-identical
+// results at any thread count, the bench also re-verifies that guarantee on
+// the benchmark workload and exits nonzero if any thread count diverges —
+// a speedup obtained by breaking determinism is not a speedup.
+//
+// Speedup is relative to the 1-thread (legacy serial path) run. Values near
+// linear require at least as many cores as threads; on smaller machines the
+// curve flattens at the core count, which the "hardware_concurrency" field
+// makes visible in the output.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace manet;
+
+double solve_seconds(const MtrmConfig& config, std::uint64_t seed, double& out_value) {
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(seed);
+  const MtrmResult result = solve_mtrm<2>(config, rng);
+  const auto stop = std::chrono::steady_clock::now();
+  out_value = result.mean_critical_range.mean();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  bool quick = false;
+  std::uint64_t seed = 1;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::stoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--quick] [--seed S] [--repeats K]\n", argv[0]);
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  // Fixed workload: the paper's l = 1024 waypoint experiment at the default
+  // preset, with the iteration count raised to 16 so the trial fan-out
+  // divides evenly at every measured thread count (1, 2, 4, 8).
+  MtrmConfig config =
+      experiments::waypoint_experiment(1024.0, quick ? Preset::kQuick : Preset::kDefault);
+  config.iterations = 16;
+  if (quick) config.steps = 200;
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  double serial_seconds = 0.0;
+  double serial_value = 0.0;
+  bool deterministic = true;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"parallel_mtrm_scaling\",\n");
+  std::printf(
+      "  \"workload\": {\"model\": \"random_waypoint\", \"l\": %.1f, \"n\": %zu, "
+      "\"steps\": %zu, \"iterations\": %zu, \"seed\": %llu, \"repeats\": %d},\n",
+      config.side, config.node_count, config.steps, config.iterations,
+      static_cast<unsigned long long>(seed), repeats);
+  std::printf("  \"hardware_concurrency\": %zu,\n", max_parallelism());
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const std::size_t threads = thread_counts[i];
+    set_max_parallelism(threads);
+    double value = 0.0;
+    double best = 1e300;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      double repeat_value = 0.0;
+      const double seconds = solve_seconds(config, seed, repeat_value);
+      if (seconds < best) best = seconds;
+      value = repeat_value;
+    }
+    if (threads == 1) {
+      serial_seconds = best;
+      serial_value = value;
+    } else if (std::memcmp(&value, &serial_value, sizeof(double)) != 0) {
+      deterministic = false;
+    }
+    std::printf("    {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n", threads,
+                best, serial_seconds / best, i + 1 < thread_counts.size() ? "," : "");
+  }
+  set_max_parallelism(0);
+  std::printf("  ],\n");
+  std::printf("  \"bit_identical_across_thread_counts\": %s\n", deterministic ? "true" : "false");
+  std::printf("}\n");
+
+  if (!deterministic) {
+    std::fprintf(stderr, "FATAL: results diverged across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

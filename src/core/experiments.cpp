@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace manet {
 
@@ -38,6 +39,14 @@ ScaleParams scale_for(Preset preset) {
 }
 
 namespace experiments {
+
+std::vector<MtrmResult> solve_mtrm_sweep(const std::vector<MtrmConfig>& configs,
+                                         std::uint64_t seed) {
+  return parallel_for_trials(configs.size(), seed,
+                             [&configs](std::size_t point, Rng& point_rng) {
+                               return solve_mtrm<2>(configs[point], point_rng);
+                             });
+}
 
 std::vector<double> figure_l_values() { return {256.0, 1024.0, 4096.0, 16384.0}; }
 

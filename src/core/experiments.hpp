@@ -32,6 +32,14 @@ ScaleParams scale_for(Preset preset);
 /// Experiment definitions mirroring the paper's Section 4 setups.
 namespace experiments {
 
+/// Solves one MTRM experiment per config — a figure's data points — through
+/// the deterministic parallel engine (support/parallel.hpp). Data point i
+/// draws from the order-independent substream of (seed, i) and the results
+/// come back in config order, so a sweep is bit-identical at any thread
+/// count; the per-point iteration fan-out nests inside the same thread pool.
+std::vector<MtrmResult> solve_mtrm_sweep(const std::vector<MtrmConfig>& configs,
+                                         std::uint64_t seed);
+
 /// The system sizes of Figures 2-6: l in {256, 1K, 4K, 16K}.
 std::vector<double> figure_l_values();
 

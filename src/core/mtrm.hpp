@@ -6,6 +6,7 @@
 #include "geometry/box.hpp"
 #include "mobility/factory.hpp"
 #include "sim/mobile_trace.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -62,14 +63,64 @@ struct MtrmResult {
   RunningStats mean_critical_range;
 };
 
+/// The per-iteration measurements folded into an MtrmResult: one value per
+/// requested quantity, extracted from a single mobile trace.
+struct MtrmIterationOutcome {
+  std::vector<double> range_for_time;
+  std::vector<double> lcc_at_range_for_time;
+  std::vector<double> min_lcc_at_range_for_time;
+  double range_never_connected = 0.0;
+  double lcc_at_range_never = 0.0;
+  std::vector<double> range_for_component;
+  double mean_critical_range = 0.0;
+};
+
 /// Solves MTRM by simulation: runs `iterations` independent mobile traces and
 /// extracts every requested range exactly from the per-step critical radii
-/// and component curves (DESIGN.md §2). Each iteration draws its randomness
-/// from an independent substream of `rng`.
+/// and component curves (DESIGN.md §2).
+///
+/// Iterations run through the deterministic parallel engine
+/// (support/parallel.hpp): one draw from `rng` seeds an order-independent
+/// substream per iteration, the iterations fan out over up to
+/// `MANET_THREADS` threads, and the per-iteration outcomes are folded into
+/// the RunningStats in iteration order — so the result is bit-identical at
+/// any thread count, and `rng` always advances by exactly one draw.
 template <int D>
 MtrmResult solve_mtrm(const MtrmConfig& config, Rng& rng) {
   config.validate();
   const Box<D> region(config.side);
+  const std::uint64_t trial_root = rng.next_u64();
+
+  const auto run_iteration = [&config, &region](std::size_t, Rng& iteration_rng) {
+    const auto model = make_mobility_model<D>(config.mobility, region);
+    const MobileConnectivityTrace trace =
+        run_mobile_trace<D>(config.node_count, region, config.steps, *model, iteration_rng);
+
+    MtrmIterationOutcome outcome;
+    outcome.range_for_time.reserve(config.time_fractions.size());
+    outcome.lcc_at_range_for_time.reserve(config.time_fractions.size());
+    outcome.min_lcc_at_range_for_time.reserve(config.time_fractions.size());
+    for (double f : config.time_fractions) {
+      const double r_f = trace.range_for_time_fraction(f);
+      outcome.range_for_time.push_back(r_f);
+      outcome.lcc_at_range_for_time.push_back(trace.mean_largest_fraction_when_disconnected(r_f));
+      outcome.min_lcc_at_range_for_time.push_back(trace.min_largest_fraction_at(r_f));
+    }
+
+    const double r0 = trace.largest_never_connected_range();
+    outcome.range_never_connected = r0;
+    outcome.lcc_at_range_never = trace.mean_largest_fraction_when_disconnected(r0);
+
+    outcome.range_for_component.reserve(config.component_fractions.size());
+    for (double phi : config.component_fractions) {
+      outcome.range_for_component.push_back(trace.range_for_mean_component_fraction(phi));
+    }
+
+    outcome.mean_critical_range = trace.mean_critical_range();
+    return outcome;
+  };
+
+  const auto outcomes = parallel_for_trials(config.iterations, trial_root, run_iteration);
 
   MtrmResult result;
   result.time_fractions = config.time_fractions;
@@ -79,29 +130,18 @@ MtrmResult solve_mtrm(const MtrmConfig& config, Rng& rng) {
   result.lcc_at_range_for_time.resize(config.time_fractions.size());
   result.min_lcc_at_range_for_time.resize(config.time_fractions.size());
 
-  for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
-    Rng iteration_rng = rng.split();
-    const auto model = make_mobility_model<D>(config.mobility, region);
-    const MobileConnectivityTrace trace =
-        run_mobile_trace<D>(config.node_count, region, config.steps, *model, iteration_rng);
-
+  for (const MtrmIterationOutcome& outcome : outcomes) {
     for (std::size_t i = 0; i < config.time_fractions.size(); ++i) {
-      const double r_f = trace.range_for_time_fraction(config.time_fractions[i]);
-      result.range_for_time[i].add(r_f);
-      result.lcc_at_range_for_time[i].add(trace.mean_largest_fraction_when_disconnected(r_f));
-      result.min_lcc_at_range_for_time[i].add(trace.min_largest_fraction_at(r_f));
+      result.range_for_time[i].add(outcome.range_for_time[i]);
+      result.lcc_at_range_for_time[i].add(outcome.lcc_at_range_for_time[i]);
+      result.min_lcc_at_range_for_time[i].add(outcome.min_lcc_at_range_for_time[i]);
     }
-
-    const double r0 = trace.largest_never_connected_range();
-    result.range_never_connected.add(r0);
-    result.lcc_at_range_never.add(trace.mean_largest_fraction_when_disconnected(r0));
-
+    result.range_never_connected.add(outcome.range_never_connected);
+    result.lcc_at_range_never.add(outcome.lcc_at_range_never);
     for (std::size_t j = 0; j < config.component_fractions.size(); ++j) {
-      result.range_for_component[j].add(
-          trace.range_for_mean_component_fraction(config.component_fractions[j]));
+      result.range_for_component[j].add(outcome.range_for_component[j]);
     }
-
-    result.mean_critical_range.add(trace.mean_critical_range());
+    result.mean_critical_range.add(outcome.mean_critical_range);
   }
   return result;
 }

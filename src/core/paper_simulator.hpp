@@ -7,6 +7,7 @@
 #include "mobility/factory.hpp"
 #include "sim/mobile_trace.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace manet {
@@ -58,15 +59,31 @@ struct PaperSimulatorOutput {
 };
 
 /// Runs the Section 4.1 simulator in D dimensions (the paper's runs use
-/// D = 2).
+/// D = 2). Iterations fan out through the deterministic parallel engine
+/// (support/parallel.hpp) — one draw from `rng` seeds an order-independent
+/// substream per iteration and the per-iteration reports aggregate in
+/// iteration order, so the output is bit-identical at any thread count.
 template <int D>
 PaperSimulatorOutput run_paper_simulator(const PaperSimulatorInput& input, Rng& rng) {
   input.validate();
   const Box<D> region(input.l);
   const double n_as_double = static_cast<double>(input.n);
+  const std::uint64_t trial_root = rng.next_u64();
 
   PaperSimulatorOutput output;
-  output.per_iteration.reserve(input.iterations);
+  output.per_iteration = parallel_for_trials(
+      input.iterations, trial_root, [&input, &region, n_as_double](std::size_t, Rng& iteration_rng) {
+        const auto model = make_mobility_model<D>(input.mobility, region);
+        const MobileConnectivityTrace trace =
+            run_mobile_trace<D>(input.n, region, input.steps, *model, iteration_rng);
+
+        PaperSimulatorReport report;
+        report.connected_fraction = trace.fraction_of_time_connected(input.r);
+        report.mean_largest_when_disconnected =
+            trace.mean_largest_fraction_when_disconnected(input.r) * n_as_double;
+        report.min_largest = trace.min_largest_fraction_at(input.r) * n_as_double;
+        return report;
+      });
 
   double overall_connected = 0.0;
   double overall_disconnected_lcc_sum = 0.0;
@@ -74,19 +91,7 @@ PaperSimulatorOutput run_paper_simulator(const PaperSimulatorInput& input, Rng& 
   double overall_min_largest = n_as_double;
   std::size_t overall_graphs = 0;
 
-  for (std::size_t iteration = 0; iteration < input.iterations; ++iteration) {
-    Rng iteration_rng = rng.split();
-    const auto model = make_mobility_model<D>(input.mobility, region);
-    const MobileConnectivityTrace trace =
-        run_mobile_trace<D>(input.n, region, input.steps, *model, iteration_rng);
-
-    PaperSimulatorReport report;
-    report.connected_fraction = trace.fraction_of_time_connected(input.r);
-    report.mean_largest_when_disconnected =
-        trace.mean_largest_fraction_when_disconnected(input.r) * n_as_double;
-    report.min_largest = trace.min_largest_fraction_at(input.r) * n_as_double;
-    output.per_iteration.push_back(report);
-
+  for (const PaperSimulatorReport& report : output.per_iteration) {
     const auto steps = static_cast<double>(input.steps);
     const double disconnected_steps = steps * (1.0 - report.connected_fraction);
     overall_connected += report.connected_fraction * steps;

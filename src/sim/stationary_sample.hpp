@@ -6,6 +6,7 @@
 
 #include "geometry/box.hpp"
 #include "sim/deployment.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "topology/critical_range.hpp"
 
@@ -45,15 +46,20 @@ class StationaryRangeSample {
 
 /// Runs `trials` independent uniform deployments of n nodes and returns the
 /// critical-radius sample.
+///
+/// Deployments run through the deterministic parallel engine
+/// (support/parallel.hpp): one draw from `rng` seeds an order-independent
+/// substream per trial and the radii are collected in trial order, so the
+/// sample is bit-identical at any thread count.
 template <int D>
 StationaryRangeSample sample_stationary_critical_ranges(std::size_t n, const Box<D>& box,
                                                         std::size_t trials, Rng& rng) {
-  std::vector<double> radii;
-  radii.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto points = uniform_deployment(n, box, rng);
-    radii.push_back(critical_range<D>(points));
-  }
+  const std::uint64_t trial_root = rng.next_u64();
+  std::vector<double> radii =
+      parallel_for_trials(trials, trial_root, [n, &box](std::size_t, Rng& trial_rng) {
+        const auto points = uniform_deployment(n, box, trial_rng);
+        return critical_range<D>(points);
+      });
   return StationaryRangeSample(std::move(radii));
 }
 

@@ -1,0 +1,188 @@
+#include "support/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace manet {
+namespace {
+
+/// Upper bound on any configured thread count: far above useful hardware,
+/// low enough that a typo in MANET_THREADS cannot exhaust process limits.
+constexpr std::size_t kMaxThreads = 256;
+
+std::size_t clamp_thread_count(std::size_t threads) noexcept {
+  if (threads < 1) return 1;
+  return std::min(threads, kMaxThreads);
+}
+
+std::size_t hardware_default() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_thread_count(hw == 0 ? 1 : static_cast<std::size_t>(hw));
+}
+
+/// MANET_THREADS, or hardware_concurrency() when unset / unparsable / 0.
+/// Read once: the engine's thread count is process-stable unless overridden
+/// programmatically.
+std::size_t environment_thread_count() noexcept {
+  const char* text = std::getenv("MANET_THREADS");
+  if (text == nullptr || *text == '\0') return hardware_default();
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0) return hardware_default();
+  return clamp_thread_count(static_cast<std::size_t>(value));
+}
+
+std::atomic<std::size_t> g_override{0};  // 0 = no programmatic override
+
+/// The process-wide worker pool behind run_task_batch. Workers are created
+/// lazily and the pool only grows (to the largest batch width requested so
+/// far); per-batch concurrency is bounded by the batch's task count, never
+/// by the worker count, so a grown pool cannot change any result.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void ensure_workers(std::size_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (workers_.size() < count && workers_.size() < kMaxThreads) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+  }
+
+  /// Pops and runs one queued task on the calling thread. Returns false when
+  /// the queue was empty. Used by batch waiters to help instead of blocking,
+  /// which is what makes nested batches deadlock-free.
+  bool run_one() {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Completion state shared by one run_task_batch call and its tasks.
+struct Batch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+};
+
+}  // namespace
+
+std::size_t max_parallelism() noexcept {
+  const std::size_t override_threads = g_override.load(std::memory_order_relaxed);
+  if (override_threads != 0) return override_threads;
+  static const std::size_t configured = environment_thread_count();
+  return configured;
+}
+
+void set_max_parallelism(std::size_t threads) noexcept {
+  g_override.store(threads == 0 ? 0 : clamp_thread_count(threads),
+                   std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void atomic_store_min(std::atomic<std::size_t>& current, std::size_t candidate) noexcept {
+  std::size_t observed = current.load(std::memory_order_relaxed);
+  while (candidate < observed &&
+         !current.compare_exchange_weak(observed, candidate, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void run_task_batch(std::size_t count, std::size_t threads,
+                    const std::function<void(std::size_t)>& run_task) {
+  if (count == 0) return;
+  if (count == 1 || threads <= 1) {
+    for (std::size_t task = 0; task < count; ++task) run_task(task);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::instance();
+  // The caller helps, so `threads - 1` workers give `threads` runners. The
+  // pool keeps the high-water mark; batch width is capped by `count` anyway.
+  pool.ensure_workers(std::min(threads, count) - 1);
+
+  Batch batch;
+  batch.remaining = count;
+  for (std::size_t task = 0; task < count; ++task) {
+    pool.submit([&batch, &run_task, task] {
+      run_task(task);
+      {
+        std::unique_lock<std::mutex> lock(batch.mutex);
+        --batch.remaining;
+        if (batch.remaining == 0) batch.done.notify_all();
+      }
+    });
+  }
+
+  // Help-while-waiting: drain queued tasks (ours or a sibling batch's) until
+  // this batch completes; only sleep when there is nothing left to run, at
+  // which point every unfinished task of this batch is executing elsewhere.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch.mutex);
+      if (batch.remaining == 0) return;
+    }
+    if (pool.run_one()) continue;
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    return;
+  }
+}
+
+}  // namespace detail
+}  // namespace manet

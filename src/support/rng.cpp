@@ -96,4 +96,17 @@ Rng Rng::split() noexcept {
   return Rng(child_seed);
 }
 
+std::uint64_t substream_seed(std::uint64_t root_seed, std::uint64_t trial_index) noexcept {
+  // Hash the root once, offset the resulting SplitMix64 state by the trial
+  // index, and draw the seed through the finalizer. The finalizer is a
+  // bijection, so for a fixed root distinct indices can never collide.
+  SplitMix64 root_mix(root_seed);
+  SplitMix64 trial_mix(root_mix() + trial_index);
+  return trial_mix();
+}
+
+Rng substream(std::uint64_t root_seed, std::uint64_t trial_index) noexcept {
+  return Rng(substream_seed(root_seed, trial_index));
+}
+
 }  // namespace manet

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <iomanip>
+#include <sstream>
 #include <vector>
 
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
 #include "geometry/box.hpp"
 #include "mobility/factory.hpp"
 #include "sim/mobile_trace.hpp"
@@ -100,6 +105,71 @@ TEST(Determinism, MobileTraceIsBitIdenticalAcrossRuns) {
     return std::vector<double>(timeline.begin(), timeline.end());
   };
   EXPECT_TRUE(bit_identical(drunkard_run(9001), drunkard_run(9001)));
+}
+
+/// FNV-1a over the raw bit patterns of a double sequence. A one-ulp change
+/// in any value changes the digest, so a drifting golden value pinpoints a
+/// stream-structure or arithmetic change immediately.
+std::uint64_t fnv1a_bits(const std::vector<double>& values) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (double value : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setw(16) << std::setfill('0') << value;
+  return out.str();
+}
+
+std::vector<double> flatten_mtrm(const MtrmResult& result) {
+  std::vector<double> values;
+  for (const RunningStats& stats : result.range_for_time) {
+    values.push_back(stats.mean());
+    values.push_back(stats.variance());
+  }
+  values.push_back(result.range_never_connected.mean());
+  values.push_back(result.lcc_at_range_never.mean());
+  for (const RunningStats& stats : result.range_for_component) values.push_back(stats.mean());
+  for (const RunningStats& stats : result.lcc_at_range_for_time) values.push_back(stats.mean());
+  for (const RunningStats& stats : result.min_lcc_at_range_for_time) {
+    values.push_back(stats.mean());
+  }
+  values.push_back(result.mean_critical_range.mean());
+  return values;
+}
+
+std::uint64_t mtrm_checksum(const MtrmConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  return fnv1a_bits(flatten_mtrm(solve_mtrm<2>(config, rng)));
+}
+
+// Golden end-to-end digests at the quick preset (l = 256, n = 16). These pin
+// the full stream structure — deployment draws, mobility trajectories,
+// per-trial substream derivation (support/parallel.hpp) and the ordered
+// reduction — across compilers and platforms: the hot path uses only
+// IEEE-exact arithmetic (+,-,*,/,sqrt) plus correctly-rounded pow, no libm
+// trig, so the digests are stable wherever doubles are IEEE 754 binary64.
+// If a deliberate stream-structure change moves them, re-pin BOTH values and
+// note the break in CHANGES.md; a drift in only one model points at that
+// model's sampling code instead.
+TEST(Determinism, GoldenChecksumWaypointMtrmQuickPreset) {
+  const MtrmConfig config = experiments::waypoint_experiment(256.0, Preset::kQuick);
+  const std::uint64_t checksum = mtrm_checksum(config, 20020623);
+  EXPECT_EQ(hex64(checksum), hex64(0x7f15b5b64209b3a3ull));
+}
+
+TEST(Determinism, GoldenChecksumDrunkardMtrmQuickPreset) {
+  const MtrmConfig config = experiments::drunkard_experiment(256.0, Preset::kQuick);
+  const std::uint64_t checksum = mtrm_checksum(config, 20020623);
+  EXPECT_EQ(hex64(checksum), hex64(0xca0fd93f2a6598c4ull));
 }
 
 TEST(Determinism, SplitStreamsAreInsensitiveToSiblingConsumption) {

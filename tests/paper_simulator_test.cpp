@@ -145,7 +145,9 @@ TEST(PaperSimulator, AgreesWithDirectTraceQueries) {
   const auto output = run_paper_simulator<2>(input, facade_rng);
 
   Rng trace_rng(9);
-  Rng iteration_rng = trace_rng.split();  // the facade splits once per iteration
+  // The facade draws one substream root, then derives the order-independent
+  // per-iteration substream (support/parallel.hpp seeding contract).
+  Rng iteration_rng = substream(trace_rng.next_u64(), 0);
   auto model = make_mobility_model<2>(mobility, region);
   const auto trace = run_mobile_trace<2>(input.n, region, input.steps, *model, iteration_rng);
 

@@ -161,5 +161,64 @@ TEST(Rng, SameSeedSameStream) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
 }
 
+TEST(Substream, IsAPureFunctionOfSeedAndIndex) {
+  // Unlike split(), substream() consumes no parent state: deriving trial 5
+  // before trial 3 — or deriving trial 3 twice — always yields the same
+  // stream. This is what lets worker threads derive their trials in any
+  // scheduling order and still match the serial run bit-for-bit.
+  Rng late_first = substream(1234, 5);
+  Rng early_second = substream(1234, 3);
+  Rng early_first = substream(1234, 3);
+  Rng late_second = substream(1234, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(early_first.next_u64(), early_second.next_u64());
+    EXPECT_EQ(late_first.next_u64(), late_second.next_u64());
+  }
+}
+
+TEST(Substream, SeedIsStableAcrossCalls) {
+  EXPECT_EQ(substream_seed(42, 17), substream_seed(42, 17));
+  EXPECT_NE(substream_seed(42, 17), substream_seed(42, 18));
+  EXPECT_NE(substream_seed(42, 17), substream_seed(43, 17));
+}
+
+TEST(Substream, TrialStreamsArePairwiseDistinct) {
+  // Streams for trials {0..63} under one root seed must be pairwise distinct
+  // (no seed collision, no lockstep prefix).
+  constexpr std::size_t kTrials = 64;
+  constexpr int kPrefix = 16;
+  std::vector<std::array<std::uint64_t, kPrefix>> prefixes(kTrials);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    seeds.insert(substream_seed(777, trial));
+    Rng rng = substream(777, trial);
+    for (int i = 0; i < kPrefix; ++i) prefixes[trial][i] = rng.next_u64();
+  }
+  EXPECT_EQ(seeds.size(), kTrials) << "substream seed collision";
+  for (std::size_t a = 0; a < kTrials; ++a) {
+    for (std::size_t b = a + 1; b < kTrials; ++b) {
+      EXPECT_NE(prefixes[a], prefixes[b]) << "trials " << a << " and " << b;
+    }
+  }
+}
+
+TEST(Substream, StreamsAreDecorrelatedFromRootAndEachOther) {
+  // Neighboring trial indices must not produce correlated draws: across a
+  // long window, matching outputs at the same position should be absent.
+  Rng root(2024);
+  Rng trial0 = substream(2024, 0);
+  Rng trial1 = substream(2024, 1);
+  int equal_root = 0;
+  int equal_neighbor = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t a = trial0.next_u64();
+    const std::uint64_t b = trial1.next_u64();
+    if (a == root.next_u64()) ++equal_root;
+    if (a == b) ++equal_neighbor;
+  }
+  EXPECT_LE(equal_root, 1);
+  EXPECT_LE(equal_neighbor, 1);
+}
+
 }  // namespace
 }  // namespace manet
