@@ -1,0 +1,180 @@
+// Dense-Prim vs grid-engine EMST benchmark (the mobile hot path's inner
+// solve): an n sweep at the paper's l = 1024 region, reported as JSON.
+//
+// Because the whole point of the grid engine is that it changes NOTHING but
+// the running time, the bench re-verifies on every measured point set that
+// both paths produce bitwise-equal bottlenecks (= critical ranges) and
+// equal sorted edge-weight multisets, and exits nonzero on any mismatch —
+// a speedup that moves the simulation output is a bug, not a speedup.
+//
+// The bench also counts heap allocations (global operator new replacement)
+// during a warm engine solve, reporting the steady-state allocations per
+// mobility-step-equivalent solve; the zero-allocation workspace contract
+// (sim/trace_workspace.hpp) shows up here as 0.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "sim/deployment.hpp"
+#include "support/rng.hpp"
+#include "topology/emst_grid.hpp"
+#include "topology/mst.hpp"
+
+namespace {
+
+// Single-threaded bench: a plain counter is enough.
+std::size_t g_news = 0;
+bool g_counting = false;
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting) ++g_news;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void* operator new[](std::size_t size, std::align_val_t) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace manet;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<double> sorted_weights(std::span<const WeightedEdge> edges) {
+  std::vector<double> weights;
+  weights.reserve(edges.size());
+  for (const auto& edge : edges) weights.push_back(edge.weight);
+  std::sort(weights.begin(), weights.end());
+  return weights;
+}
+
+bool bitwise_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint64_t seed = 1;
+  int sets = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--sets" && i + 1 < argc) {
+      sets = std::stoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--quick] [--seed S] [--sets K]\n", argv[0]);
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  const double side = 1024.0;  // the paper's 2-D region
+  const Box2 box(side);
+  std::vector<std::size_t> n_sweep = {256, 1024, 2048, 4096};
+  if (quick) n_sweep = {256, 1024};
+
+  Rng rng(seed);
+  bool identical = true;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"emst_grid_vs_dense\",\n");
+  std::printf(
+      "  \"workload\": {\"d\": 2, \"l\": %.1f, \"seed\": %llu, \"point_sets\": %d, "
+      "\"dense\": \"mst_with_metric (Prim, O(n^2))\", "
+      "\"grid\": \"EmstEngine (filtered Kruskal, adaptive radius)\"},\n",
+      side, static_cast<unsigned long long>(seed), sets);
+  std::printf("  \"results\": [\n");
+
+  for (std::size_t idx = 0; idx < n_sweep.size(); ++idx) {
+    const std::size_t n = n_sweep[idx];
+    // One engine per n, warmed on the first set: the steady-state timing is
+    // what the mobile step loop sees.
+    EmstEngine<2> engine;
+    double dense_seconds = 0.0;
+    double grid_seconds = 0.0;
+    std::size_t rounds = 0;
+    std::size_t candidate_edges = 0;
+    std::size_t steady_allocs = 0;
+    // More grid repetitions per measurement: a grid solve is ~100x shorter
+    // than a dense solve, so it needs more iterations for a stable clock.
+    const int grid_reps = 10;
+
+    for (int set = 0; set < sets; ++set) {
+      const auto points = uniform_deployment(n, box, rng);
+
+      const double dense_start = now_seconds();
+      const auto dense = euclidean_mst<2>(points);
+      dense_seconds += now_seconds() - dense_start;
+
+      engine.euclidean(points, box);  // warm the pools for this point set
+      g_news = 0;
+      g_counting = true;
+      const double grid_start = now_seconds();
+      for (int rep = 0; rep < grid_reps; ++rep) engine.euclidean(points, box);
+      grid_seconds += (now_seconds() - grid_start) / grid_reps;
+      g_counting = false;
+      steady_allocs = g_news / static_cast<std::size_t>(grid_reps);
+
+      const auto grid = engine.euclidean(points, box);
+      rounds = engine.stats().rounds;
+      candidate_edges = engine.stats().candidate_edges;
+
+      if (!bitwise_equal(tree_bottleneck(dense), tree_bottleneck(grid))) identical = false;
+      const auto dense_w = sorted_weights(dense);
+      const auto grid_w = sorted_weights(grid);
+      if (dense_w.size() != grid_w.size()) {
+        identical = false;
+      } else {
+        for (std::size_t i = 0; i < dense_w.size(); ++i) {
+          if (!bitwise_equal(dense_w[i], grid_w[i])) identical = false;
+        }
+      }
+    }
+
+    dense_seconds /= sets;
+    grid_seconds /= sets;
+    std::printf(
+        "    {\"n\": %zu, \"dense_seconds\": %.6f, \"grid_seconds\": %.6f, "
+        "\"speedup\": %.2f, \"doubling_rounds\": %zu, \"candidate_edges\": %zu, "
+        "\"steady_state_allocs_per_solve\": %zu}%s\n",
+        n, dense_seconds, grid_seconds, dense_seconds / grid_seconds, rounds,
+        candidate_edges, steady_allocs, idx + 1 < n_sweep.size() ? "," : "");
+  }
+
+  std::printf("  ],\n");
+  std::printf("  \"bottlenecks_bit_identical\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: grid EMST diverged from the dense path\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "geometry/box.hpp"
 #include "mobility/factory.hpp"
 #include "sim/mobile_trace.hpp"
+#include "sim/trace_workspace.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -93,8 +94,12 @@ MtrmResult solve_mtrm(const MtrmConfig& config, Rng& rng) {
 
   const auto run_iteration = [&config, &region](std::size_t, Rng& iteration_rng) {
     const auto model = make_mobility_model<D>(config.mobility, region);
-    const MobileConnectivityTrace trace =
-        run_mobile_trace<D>(config.node_count, region, config.steps, *model, iteration_rng);
+    // Per-iteration workspace: the step loop reuses its grid/edge/curve
+    // buffers across all `steps` EMST solves, and because every iteration
+    // owns its workspace nothing is shared across worker threads.
+    TraceWorkspace<D> workspace;
+    const MobileConnectivityTrace trace = run_mobile_trace<D>(
+        config.node_count, region, config.steps, *model, iteration_rng, &workspace);
 
     MtrmIterationOutcome outcome;
     outcome.range_for_time.reserve(config.time_fractions.size());

@@ -6,6 +6,7 @@
 #include "geometry/box.hpp"
 #include "mobility/factory.hpp"
 #include "sim/mobile_trace.hpp"
+#include "sim/trace_workspace.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -74,8 +75,11 @@ PaperSimulatorOutput run_paper_simulator(const PaperSimulatorInput& input, Rng& 
   output.per_iteration = parallel_for_trials(
       input.iterations, trial_root, [&input, &region, n_as_double](std::size_t, Rng& iteration_rng) {
         const auto model = make_mobility_model<D>(input.mobility, region);
-        const MobileConnectivityTrace trace =
-            run_mobile_trace<D>(input.n, region, input.steps, *model, iteration_rng);
+        // Per-iteration workspace: buffer reuse across the step loop without
+        // sharing anything between worker threads.
+        TraceWorkspace<D> workspace;
+        const MobileConnectivityTrace trace = run_mobile_trace<D>(
+            input.n, region, input.steps, *model, iteration_rng, &workspace);
 
         PaperSimulatorReport report;
         report.connected_fraction = trace.fraction_of_time_connected(input.r);

@@ -4,11 +4,13 @@
 #include <array>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "geometry/box.hpp"
 #include "geometry/point.hpp"
+#include "geometry/torus.hpp"
 #include "support/contracts.hpp"
 #include "support/error.hpp"
 
@@ -20,15 +22,31 @@ namespace manet {
 /// Cells have side >= the query radius, so any pair within the radius lies in
 /// the same or an axis-adjacent cell; `for_each_pair_within` visits each
 /// unordered pair exactly once.
+///
+/// The grid is rebuildable in place: `rebuild` re-runs the counting sort into
+/// the existing buffers, so a caller that rebins every mobility step (or every
+/// doubling round of the adaptive EMST engine, topology/emst_grid.hpp) performs
+/// no steady-state heap allocations once the buffers have grown to size.
 template <int D>
 class CellGrid {
  public:
+  /// An empty grid; call `rebuild` before querying.
+  CellGrid() = default;
+
   /// Builds the grid over `points`, all of which must lie inside `box`.
   /// `cell_size` is clamped up so the grid never exceeds kMaxCellsPerAxis
   /// per axis (tiny radii would otherwise allocate huge empty grids).
-  CellGrid(std::span<const Point<D>> points, const Box<D>& box, double cell_size)
-      : side_(box.side()) {
+  CellGrid(std::span<const Point<D>> points, const Box<D>& box, double cell_size) {
+    rebuild(points, box, cell_size);
+  }
+
+  /// Rebuilds the grid over a (possibly different) point set, reusing the
+  /// internal buffers. Same contract as the constructor. After the call,
+  /// `cell_size() >= requested cell_size`, so any query radius up to the
+  /// requested cell size satisfies the `for_each_pair_within` precondition.
+  void rebuild(std::span<const Point<D>> points, const Box<D>& box, double cell_size) {
     MANET_EXPECTS(cell_size > 0.0);
+    side_ = box.side();
     // Cap the cell count at ~4x the point count: finer grids only add empty
     // cells without reducing the number of candidate pairs.
     std::size_t max_per_axis = kMaxCellsPerAxis;
@@ -40,27 +58,36 @@ class CellGrid {
     cells_per_axis_ = static_cast<std::size_t>(side_ / cell_size);
     cells_per_axis_ = std::max<std::size_t>(1, std::min(cells_per_axis_, max_per_axis));
     cell_size_ = side_ / static_cast<double>(cells_per_axis_);
+    // The clamping above only ever coarsens the grid, which is what makes the
+    // rebuild-to-raise-the-radius pattern of the adaptive EMST engine safe.
+    MANET_ENSURE(cells_per_axis_ == 1 || cell_size_ >= cell_size * (1.0 - 1e-12));
 
     std::size_t total_cells = 1;
     for (int i = 0; i < D; ++i) total_cells *= cells_per_axis_;
 
-    // Counting sort of point ids by flattened cell index.
+    // Counting sort of point ids by flattened cell index, entirely in reused
+    // buffers: counts accumulate in cell_start_[c + 1], the placement pass
+    // advances cell_start_[c] to the end of cell c, and the final shift
+    // restores the start offsets — no cursor scratch vector.
     cell_start_.assign(total_cells + 1, 0);
-    std::vector<std::size_t> cell_of(points.size());
+    cell_of_.resize(points.size());
     for (std::size_t p = 0; p < points.size(); ++p) {
-      cell_of[p] = flat_index(cell_coords(points[p]));
-      ++cell_start_[cell_of[p] + 1];
+      cell_of_[p] = flat_index(cell_coords(points[p]));
+      ++cell_start_[cell_of_[p] + 1];
     }
     for (std::size_t c = 1; c <= total_cells; ++c) cell_start_[c] += cell_start_[c - 1];
     // The paper's occupancy argument needs every node accounted for: the
     // per-cell counts must sum to exactly n after the prefix scan.
     MANET_INVARIANT(cell_start_[total_cells] == points.size());
     point_ids_.resize(points.size());
-    std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
-    for (std::size_t p = 0; p < points.size(); ++p) point_ids_[cursor[cell_of[p]]++] = p;
+    for (std::size_t p = 0; p < points.size(); ++p) point_ids_[cell_start_[cell_of_[p]]++] = p;
+    for (std::size_t c = total_cells; c > 0; --c) cell_start_[c] = cell_start_[c - 1];
+    cell_start_[0] = 0;
+    MANET_INVARIANT(cell_start_[total_cells] == points.size());
 
     // Record the non-empty cells so queries never touch the (potentially
     // huge) set of empty ones.
+    occupied_.clear();
     occupied_.reserve(std::min(points.size(), total_cells));
     for (std::size_t c = 0; c < total_cells; ++c) {
       if (cell_start_[c + 1] > cell_start_[c]) occupied_.push_back(c);
@@ -71,18 +98,56 @@ class CellGrid {
 
   std::size_t cells_per_axis() const noexcept { return cells_per_axis_; }
   double cell_size() const noexcept { return cell_size_; }
+  double side() const noexcept { return side_; }
+
+  /// The largest radius the pair queries accept without a rebuild: adjacent
+  /// cells are only guaranteed to cover a pair when the radius does not
+  /// exceed the cell side (a single-cell grid compares every pair, so any
+  /// radius is valid there). Callers that need a larger radius must
+  /// `rebuild` with `cell_size = radius` first (see topology/emst_grid.cpp).
+  double max_query_radius() const noexcept {
+    if (cells_per_axis_ == 1) return std::numeric_limits<double>::infinity();
+    return cell_size_ * (1.0 + 1e-9);
+  }
 
   /// Invokes `fn(i, j, dist2)` once for every unordered pair (i < j) of
-  /// points with squared distance <= radius*radius. Requires
-  /// radius <= cell_size (the construction-time guarantee that adjacent
-  /// cells suffice).
+  /// points with squared Euclidean distance <= radius*radius. Requires
+  /// radius <= max_query_radius() (the construction-time guarantee that
+  /// adjacent cells suffice).
   template <typename Fn>
   void for_each_pair_within(double radius, Fn&& fn) const {
     MANET_EXPECTS(radius > 0.0);
-    // A single-cell grid compares every pair, so any radius is valid there.
-    MANET_EXPECTS(cells_per_axis_ == 1 || radius <= cell_size_ * (1.0 + 1e-9));
+    MANET_EXPECTS(radius <= max_query_radius());
     const double r2 = radius * radius;
-    for (std::size_t flat : occupied_) scan_cell(unflatten(flat), r2, fn);
+    for (std::size_t flat : occupied_) scan_cell</*Wrap=*/false>(unflatten(flat), r2, fn);
+  }
+
+  /// Invokes `fn(i, j, dist2)` once for every unordered pair (i < j) of
+  /// points with squared *torus* distance <= radius*radius, where the torus
+  /// period is the construction box side (geometry/torus.hpp). Neighbor
+  /// cells wrap around the region edges, so pairs straddling opposite
+  /// borders are found without widening the radius. Requires
+  /// radius <= max_query_radius(); grids with fewer than three cells per
+  /// axis (where wrapped neighbor offsets would alias) fall back to an
+  /// exhaustive pair scan.
+  template <typename Fn>
+  void for_each_torus_pair_within(double radius, Fn&& fn) const {
+    MANET_EXPECTS(radius > 0.0);
+    if (cells_per_axis_ < 3) {
+      // +1 and -1 offsets reach the same cell (mod 2) or the cell itself
+      // (mod 1): the forward-offset dedup breaks down, so compare all pairs.
+      const double r2 = radius * radius;
+      for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+        for (std::size_t j = i + 1; j < points_.size(); ++j) {
+          const double d2 = torus_squared_distance(points_[i], points_[j], side_);
+          if (d2 <= r2) fn(i, j, d2);
+        }
+      }
+      return;
+    }
+    MANET_EXPECTS(radius <= max_query_radius());
+    const double r2 = radius * radius;
+    for (std::size_t flat : occupied_) scan_cell</*Wrap=*/true>(unflatten(flat), r2, fn);
   }
 
  private:
@@ -117,7 +182,7 @@ class CellGrid {
     return {point_ids_.data() + cell_start_[flat], cell_start_[flat + 1] - cell_start_[flat]};
   }
 
-  template <typename Fn>
+  template <bool Wrap, typename Fn>
   void scan_cell(const std::array<std::size_t, D>& cell, double r2, Fn&& fn) const {
     const auto own = cell_points(flat_index(cell));
     if (own.empty()) return;
@@ -125,12 +190,14 @@ class CellGrid {
     // Pairs inside the cell itself.
     for (std::size_t a = 0; a < own.size(); ++a) {
       for (std::size_t b = a + 1; b < own.size(); ++b) {
-        emit(own[a], own[b], r2, fn);
+        emit<Wrap>(own[a], own[b], r2, fn);
       }
     }
 
     // Pairs with lexicographically-forward neighbor cells: each unordered
-    // cell pair is processed exactly once.
+    // cell pair is processed exactly once (with >= 3 cells per axis, wrapped
+    // +1/-1 offsets never alias, so the forward dedup still holds on the
+    // torus).
     std::array<int, D> offset{};
     offset.fill(-1);
     for (;;) {
@@ -147,17 +214,23 @@ class CellGrid {
       std::array<std::size_t, D> other = cell;
       bool in_grid = true;
       for (int i = 0; i < D; ++i) {
-        const auto shifted = static_cast<long long>(cell[i]) + offset[i];
-        if (shifted < 0 || shifted >= static_cast<long long>(cells_per_axis_)) {
-          in_grid = false;
-          break;
+        auto shifted = static_cast<long long>(cell[i]) + offset[i];
+        if constexpr (Wrap) {
+          const auto cells = static_cast<long long>(cells_per_axis_);
+          if (shifted < 0) shifted += cells;
+          if (shifted >= cells) shifted -= cells;
+        } else {
+          if (shifted < 0 || shifted >= static_cast<long long>(cells_per_axis_)) {
+            in_grid = false;
+            break;
+          }
         }
         other[i] = static_cast<std::size_t>(shifted);
       }
       if (!in_grid) continue;
 
       for (std::size_t i : own) {
-        for (std::size_t j : cell_points(flat_index(other))) emit(i, j, r2, fn);
+        for (std::size_t j : cell_points(flat_index(other))) emit<Wrap>(i, j, r2, fn);
       }
     }
   }
@@ -172,9 +245,10 @@ class CellGrid {
     return false;  // all-zero offset = own cell, handled separately
   }
 
-  template <typename Fn>
+  template <bool Wrap, typename Fn>
   void emit(std::size_t i, std::size_t j, double r2, Fn&& fn) const {
-    const double d2 = squared_distance(points_[i], points_[j]);
+    const double d2 = Wrap ? torus_squared_distance(points_[i], points_[j], side_)
+                           : squared_distance(points_[i], points_[j]);
     if (d2 <= r2) {
       if (i > j) std::swap(i, j);
       fn(i, j, d2);
@@ -182,12 +256,13 @@ class CellGrid {
   }
 
   std::span<const Point<D>> points_;
-  double side_;
+  double side_ = 0.0;
   double cell_size_ = 0.0;
   std::size_t cells_per_axis_ = 0;
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> point_ids_;
   std::vector<std::size_t> occupied_;
+  std::vector<std::size_t> cell_of_;  // counting-sort scratch, reused by rebuild
 };
 
 }  // namespace manet

@@ -11,6 +11,18 @@ namespace manet {
 MobileConnectivityTrace::MobileConnectivityTrace(
     std::size_t node_count, std::vector<LargestComponentCurve> per_step_curves)
     : n_(node_count), curves_(std::move(per_step_curves)) {
+  std::vector<CurveMergeEvent> events;
+  build(events);
+}
+
+MobileConnectivityTrace::MobileConnectivityTrace(
+    std::size_t node_count, std::vector<LargestComponentCurve> per_step_curves,
+    std::vector<CurveMergeEvent>& event_scratch)
+    : n_(node_count), curves_(std::move(per_step_curves)) {
+  build(event_scratch);
+}
+
+void MobileConnectivityTrace::build(std::vector<CurveMergeEvent>& events) {
   MANET_EXPECTS(!curves_.empty());
   for (const auto& curve : curves_) MANET_EXPECTS(curve.node_count() == n_);
 
@@ -21,11 +33,7 @@ MobileConnectivityTrace::MobileConnectivityTrace(
 
   // Merge the per-step breakpoint curves into the mean largest-component
   // curve: each step contributes +delta node at each of its breakpoints.
-  struct Event {
-    double range;
-    double delta;
-  };
-  std::vector<Event> events;
+  events.clear();
   double base_total = 0.0;
   for (const auto& curve : curves_) {
     const auto breakpoints = curve.breakpoints();
@@ -37,12 +45,12 @@ MobileConnectivityTrace::MobileConnectivityTrace(
     }
   }
   std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.range < b.range; });
+            [](const CurveMergeEvent& a, const CurveMergeEvent& b) { return a.range < b.range; });
 
   const double steps = static_cast<double>(curves_.size());
   double total = base_total;
   mean_curve_.push_back({0.0, total / steps});
-  for (const Event& event : events) {
+  for (const CurveMergeEvent& event : events) {
     total += event.delta;
     if (mean_curve_.back().range == event.range) {
       mean_curve_.back().mean_size = total / steps;

@@ -9,6 +9,7 @@
 #include "geometry/box.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/deployment.hpp"
+#include "sim/trace_workspace.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 #include "topology/critical_range.hpp"
@@ -33,6 +34,13 @@ class MobileConnectivityTrace {
   /// curve must be over `node_count` nodes).
   MobileConnectivityTrace(std::size_t node_count,
                           std::vector<LargestComponentCurve> per_step_curves);
+
+  /// Workspace variant: the mean-curve merge runs in `event_scratch`
+  /// (cleared first, capacity reused across traces) instead of a fresh
+  /// buffer — the form run_mobile_trace uses.
+  MobileConnectivityTrace(std::size_t node_count,
+                          std::vector<LargestComponentCurve> per_step_curves,
+                          std::vector<CurveMergeEvent>& event_scratch);
 
   std::size_t node_count() const noexcept { return n_; }
   std::size_t steps() const noexcept { return curves_.size(); }
@@ -84,6 +92,9 @@ class MobileConnectivityTrace {
   std::span<const double> critical_radius_timeline() const noexcept { return timeline_rc_; }
 
  private:
+  /// Shared constructor body; `events` is merge scratch (cleared first).
+  void build(std::vector<CurveMergeEvent>& events);
+
   std::size_t n_;
   std::vector<LargestComponentCurve> curves_;
   std::vector<double> sorted_rc_;
@@ -102,25 +113,35 @@ class MobileConnectivityTrace {
 /// mobility model, and records the component curve of the initial placement
 /// and of every subsequent step (`steps` curves in total; steps = 1 is the
 /// stationary case). Requires steps >= 1.
+///
+/// The per-step curves are computed by the grid-accelerated EMST engine
+/// through `workspace` (expected O(n log n) per step, O(1) steady-state heap
+/// allocations; bit-identical to the dense path). Pass a workspace to reuse
+/// its buffers across multiple traces — e.g. a bench sweeping iterations
+/// serially — or leave it null for a per-call one. Workspaces are
+/// single-threaded: concurrent traces need one each (see core/mtrm.hpp).
 template <int D>
 MobileConnectivityTrace run_mobile_trace(std::size_t n, const Box<D>& box, std::size_t steps,
-                                         MobilityModel<D>& model, Rng& rng) {
+                                         MobilityModel<D>& model, Rng& rng,
+                                         TraceWorkspace<D>* workspace = nullptr) {
   MANET_EXPECTS(steps >= 1);
+  TraceWorkspace<D> local_workspace;
+  TraceWorkspace<D>& ws = workspace != nullptr ? *workspace : local_workspace;
   auto positions = uniform_deployment(n, box, rng);
   model.initialize(positions, rng);
 
   std::vector<LargestComponentCurve> curves;
   curves.reserve(steps);
-  curves.push_back(largest_component_curve<D>(positions));
+  curves.push_back(largest_component_curve<D>(positions, box, ws));
   for (std::size_t s = 1; s < steps; ++s) {
     model.step(positions, rng);
     // Whatever the model did, the trace must stay inside the deployment
     // region: every downstream occupancy / connectivity argument assumes it.
     MANET_INVARIANT(std::all_of(positions.begin(), positions.end(),
                                 [&box](const Point<D>& p) { return box.contains(p); }));
-    curves.push_back(largest_component_curve<D>(positions));
+    curves.push_back(largest_component_curve<D>(positions, box, ws));
   }
-  return MobileConnectivityTrace(n, std::move(curves));
+  return MobileConnectivityTrace(n, std::move(curves), ws.merge_events);
 }
 
 }  // namespace manet

@@ -50,7 +50,9 @@ class StationaryRangeSample {
 /// Deployments run through the deterministic parallel engine
 /// (support/parallel.hpp): one draw from `rng` seeds an order-independent
 /// substream per trial and the radii are collected in trial order, so the
-/// sample is bit-identical at any thread count.
+/// sample is bit-identical at any thread count. Each trial's critical radius
+/// comes from the grid-accelerated EMST (topology/emst_grid.hpp), which is
+/// bit-identical to the dense path.
 template <int D>
 StationaryRangeSample sample_stationary_critical_ranges(std::size_t n, const Box<D>& box,
                                                         std::size_t trials, Rng& rng) {
@@ -58,7 +60,7 @@ StationaryRangeSample sample_stationary_critical_ranges(std::size_t n, const Box
   std::vector<double> radii =
       parallel_for_trials(trials, trial_root, [n, &box](std::size_t, Rng& trial_rng) {
         const auto points = uniform_deployment(n, box, trial_rng);
-        return critical_range<D>(points);
+        return critical_range<D>(points, box);
       });
   return StationaryRangeSample(std::move(radii));
 }

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "graph/union_find.hpp"
+#include "topology/critical_range.hpp"
+#include "topology/emst_grid.hpp"
+
+namespace manet {
+
+/// One breakpoint-merge event of the mean largest-component curve: a step
+/// gains `delta` nodes in its largest component at `range`. Lives here (not
+/// inside MobileConnectivityTrace) so the merge buffer can be pooled in a
+/// TraceWorkspace.
+struct CurveMergeEvent {
+  double range;
+  double delta;
+};
+
+/// Reusable scratch for one mobile-simulation iteration: everything the
+/// 10 000-step loop of run_mobile_trace needs besides the retained per-step
+/// breakpoint curves. After the first few steps have grown the buffers
+/// (warm-up), a mobility step performs O(1) heap allocations — the exact-size
+/// breakpoint copy the trace keeps — instead of a fresh grid, edge list,
+/// union-find and curve per step.
+///
+/// Reuse contract:
+///   - reused across calls: the EMST engine's cell grid, candidate-edge and
+///     tree buffers, the union-find, the breakpoint scratch, and the
+///     mean-curve merge-event buffer (capacity only; contents are rebuilt
+///     from scratch every step, so results never depend on prior state);
+///   - reset per use: every buffer is cleared/overwritten before being read —
+///     a workspace carries no information between steps or iterations, which
+///     is what keeps grid results bit-identical to the dense path;
+///   - threading: a workspace is single-threaded state. The parallel MTRM
+///     engine gives each iteration its own workspace (core/mtrm.hpp); never
+///     share one across concurrent traces.
+template <int D>
+struct TraceWorkspace {
+  EmstEngine<D> emst;
+  UnionFind dsu{0};
+  std::vector<LargestComponentCurve::Breakpoint> breakpoints;
+  std::vector<CurveMergeEvent> merge_events;
+};
+
+/// Grid-accelerated component curve of `points` (inside `box`) using pooled
+/// workspace buffers: the hot-path form of largest_component_curve. The
+/// returned curve is bit-identical to the dense builder's.
+template <int D>
+LargestComponentCurve largest_component_curve(std::span<const Point<D>> points,
+                                              const Box<D>& box, TraceWorkspace<D>& workspace) {
+  const auto edges = workspace.emst.euclidean(points, box);
+  return LargestComponentCurve(points.size(), edges, workspace.dsu, workspace.breakpoints);
+}
+
+}  // namespace manet

@@ -6,41 +6,61 @@
 
 namespace manet {
 
-LargestComponentCurve::LargestComponentCurve(std::size_t n, std::vector<WeightedEdge> mst_edges)
-    : n_(n) {
-  MANET_EXPECTS(mst_edges.size() + 1 == n || (n <= 1 && mst_edges.empty()));
+void LargestComponentCurve::build_from_sorted(std::size_t n,
+                                              std::span<const WeightedEdge> sorted_edges,
+                                              UnionFind& dsu,
+                                              std::vector<Breakpoint>& out) {
+  MANET_EXPECTS(sorted_edges.size() + 1 == n || (n <= 1 && sorted_edges.empty()));
+  MANET_INVARIANT(std::is_sorted(
+      sorted_edges.begin(), sorted_edges.end(),
+      [](const WeightedEdge& a, const WeightedEdge& b) { return a.weight < b.weight; }));
 
-  breakpoints_.push_back({0.0, n == 0 ? std::size_t{0} : std::size_t{1}});
-  if (mst_edges.empty()) return;
+  out.clear();
+  out.push_back({0.0, n == 0 ? std::size_t{0} : std::size_t{1}});
+  if (sorted_edges.empty()) return;
 
-  std::sort(mst_edges.begin(), mst_edges.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) { return a.weight < b.weight; });
-
-  UnionFind dsu(n);
-  for (const WeightedEdge& e : mst_edges) {
+  dsu.reset(n);
+  for (const WeightedEdge& e : sorted_edges) {
     const std::size_t before = dsu.largest_component_size();
     const bool merged = dsu.unite(e.u, e.v);
     MANET_ENSURES(merged);  // MST edges never form cycles
     const std::size_t after = dsu.largest_component_size();
     if (after > before) {
-      if (breakpoints_.back().range == e.weight) {
+      if (out.back().range == e.weight) {
         // Several merges at the same range (e.g. equally spaced points):
         // keep one breakpoint with the final size.
-        breakpoints_.back().size = after;
+        out.back().size = after;
       } else {
-        breakpoints_.push_back({e.weight, after});
+        out.push_back({e.weight, after});
       }
     }
   }
   MANET_ENSURES(dsu.all_connected());
-  MANET_ENSURES(breakpoints_.back().size == n);
+  MANET_ENSURES(out.back().size == n);
   // The curve is a nondecreasing step function: ranges and sizes both ascend.
   MANET_INVARIANT(std::is_sorted(
-      breakpoints_.begin(), breakpoints_.end(),
+      out.begin(), out.end(),
       [](const Breakpoint& a, const Breakpoint& b) { return a.range < b.range; }));
   MANET_INVARIANT(std::is_sorted(
-      breakpoints_.begin(), breakpoints_.end(),
+      out.begin(), out.end(),
       [](const Breakpoint& a, const Breakpoint& b) { return a.size < b.size; }));
+}
+
+LargestComponentCurve::LargestComponentCurve(std::size_t n, std::vector<WeightedEdge> mst_edges)
+    : n_(n) {
+  std::sort(mst_edges.begin(), mst_edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) { return a.weight < b.weight; });
+  UnionFind dsu(n);
+  build_from_sorted(n, mst_edges, dsu, breakpoints_);
+}
+
+LargestComponentCurve::LargestComponentCurve(std::size_t n,
+                                             std::span<const WeightedEdge> sorted_mst_edges,
+                                             UnionFind& dsu, std::vector<Breakpoint>& scratch)
+    : n_(n) {
+  build_from_sorted(n, sorted_mst_edges, dsu, scratch);
+  // Exact-size copy: the single retained allocation of a mobility step.
+  breakpoints_ = scratch;
 }
 
 std::size_t LargestComponentCurve::largest_component_at(double range) const {

@@ -19,9 +19,14 @@ struct WeightedEdge {
 
 /// Minimum spanning tree under an arbitrary squared-distance metric, via
 /// dense Prim's algorithm: O(n^2) metric evaluations, O(n) space, no edge
-/// materialization. For the simulated network sizes (n = sqrt(l) <= 128 in
-/// the paper) this beats building and sorting the O(n^2) edge list every
-/// mobility step.
+/// materialization. This is the reference implementation and the fallback
+/// of the grid-accelerated engine (topology/emst_grid.hpp), which selects
+/// it for tiny inputs (n < EmstEngine::kDenseCutoff) and for densities
+/// where the connectivity-threshold radius is so large a fraction of the
+/// region that a spatial grid cannot prune pairs. Hot paths (the mobile
+/// step loop, stationary sampling) go through EmstEngine, whose output is
+/// value-identical to this function; dense Prim additionally supports
+/// arbitrary metrics and points outside any deployment box.
 ///
 /// `squared_dist` is any symmetric non-negative function of two points (the
 /// Euclidean and torus metrics are the shipped instances). Returns n-1

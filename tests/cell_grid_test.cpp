@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "geometry/box.hpp"
+#include "geometry/torus.hpp"
 #include "sim/deployment.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -125,6 +127,144 @@ TEST(CellGrid, TinyCellSizeIsClampedNotPathological) {
     pairs.emplace(i, j);
   });
   EXPECT_EQ(pairs, brute_force_pairs(points, radius));
+}
+
+template <int D>
+std::set<Pair> brute_force_torus_pairs(const std::vector<Point<D>>& points, double side,
+                                       double radius) {
+  std::set<Pair> pairs;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (torus_squared_distance(points[i], points[j], side) <= radius * radius) {
+        pairs.emplace(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+template <int D>
+std::set<Pair> grid_torus_pairs(const std::vector<Point<D>>& points, const CellGrid<D>& grid,
+                                double side, double radius) {
+  std::set<Pair> pairs;
+  grid.for_each_torus_pair_within(radius, [&](std::size_t i, std::size_t j, double d2) {
+    EXPECT_LT(i, j);
+    EXPECT_LE(d2, radius * radius);
+    const auto [it, inserted] = pairs.emplace(i, j);
+    EXPECT_TRUE(inserted) << "torus pair reported twice: (" << i << ", " << j << ")";
+    EXPECT_DOUBLE_EQ(d2, torus_squared_distance(points[i], points[j], side));
+  });
+  return pairs;
+}
+
+TEST(CellGrid, TorusPairsMatchBruteForce2D) {
+  Rng rng(21);
+  const double side = 100.0;
+  const Box2 box(side);
+  for (double radius : {2.0, 10.0, 30.0}) {
+    const auto points = uniform_deployment(70, box, rng);
+    const CellGrid<2> grid(points, box, radius);
+    EXPECT_EQ(grid_torus_pairs(points, grid, side, radius),
+              brute_force_torus_pairs(points, side, radius))
+        << "radius=" << radius;
+  }
+}
+
+TEST(CellGrid, TorusPairsMatchBruteForce3D) {
+  Rng rng(22);
+  const double side = 20.0;
+  const Box3 box(side);
+  for (double radius : {1.5, 6.0}) {
+    const auto points = uniform_deployment(50, box, rng);
+    const CellGrid<3> grid(points, box, radius);
+    EXPECT_EQ(grid_torus_pairs(points, grid, side, radius),
+              brute_force_torus_pairs(points, side, radius));
+  }
+}
+
+TEST(CellGrid, TorusPairsSeeAcrossTheWrapSeam) {
+  const double side = 100.0;
+  const Box2 box(side);
+  // Euclidean distance ~98, torus distance 2: only wrap-aware scanning finds it.
+  const std::vector<Point2> points = {{{1.0, 50.0}}, {{99.0, 50.0}}};
+  const CellGrid<2> grid(points, box, 5.0);
+  EXPECT_EQ(grid_torus_pairs(points, grid, side, 5.0).size(), 1u);
+  EXPECT_TRUE(grid_pairs(points, box, 5.0).empty());
+}
+
+TEST(CellGrid, TorusPairsFallBackWhenFewerThanThreeCellsPerAxis) {
+  // A radius over a third of the side gives cells_per_axis < 3, where the
+  // wrapped neighborhood would alias; the all-pairs fallback must stay exact.
+  Rng rng(23);
+  const double side = 10.0;
+  const Box2 box(side);
+  const auto points = uniform_deployment(30, box, rng);
+  const CellGrid<2> grid(points, box, 4.5);
+  ASSERT_LT(grid.cells_per_axis(), 3u);
+  EXPECT_EQ(grid_torus_pairs(points, grid, side, 4.5), brute_force_torus_pairs(points, side, 4.5));
+}
+
+TEST(CellGrid, RebuildMatchesFreshlyConstructedGrid) {
+  Rng rng(24);
+  const Box2 big(100.0);
+  const Box2 small(8.0);
+  CellGrid<2> reused;
+  // Rebuild across different point counts, boxes and cell sizes; every
+  // rebuild must answer queries exactly like a grid built from scratch.
+  struct Config {
+    std::size_t n;
+    const Box2* box;
+    double cell;
+  };
+  for (const auto& config : {Config{120, &big, 4.0}, Config{16, &small, 2.0},
+                             Config{300, &big, 9.0}, Config{5, &big, 50.0}}) {
+    const auto points = uniform_deployment(config.n, *config.box, rng);
+    reused.rebuild(points, *config.box, config.cell);
+    const CellGrid<2> fresh(points, *config.box, config.cell);
+    EXPECT_EQ(reused.cells_per_axis(), fresh.cells_per_axis());
+    EXPECT_EQ(reused.cell_size(), fresh.cell_size());
+    const double radius = fresh.cell_size();
+    std::set<Pair> from_reused;
+    reused.for_each_pair_within(radius, [&](std::size_t i, std::size_t j, double) {
+      from_reused.emplace(i, j);
+    });
+    EXPECT_EQ(from_reused, brute_force_pairs(points, radius))
+        << "n=" << config.n << " cell=" << config.cell;
+  }
+}
+
+TEST(CellGrid, RebuildNeverShrinksBelowRequestedCellSize) {
+  // The engine's doubling loop relies on this: rebuilding with
+  // cell_size = radius always yields a grid whose max_query_radius admits
+  // that radius, even when clamping coarsens the cell.
+  Rng rng(25);
+  const Box2 box(10000.0);
+  const auto points = uniform_deployment(50, box, rng);
+  CellGrid<2> grid;
+  for (double requested : {1e-6, 0.5, 70.0, 20000.0}) {
+    grid.rebuild(points, box, requested);
+    // Clamping may only coarsen the cells — except the single-cell grid,
+    // whose one cell holds everything and accepts any query radius.
+    if (grid.cells_per_axis() > 1) {
+      EXPECT_GE(grid.cell_size(), requested * (1.0 - 1e-12));
+    }
+    EXPECT_LE(requested, grid.max_query_radius());
+    std::set<Pair> pairs;
+    grid.for_each_pair_within(requested, [&](std::size_t i, std::size_t j, double) {
+      pairs.emplace(i, j);
+    });
+    EXPECT_EQ(pairs, brute_force_pairs(points, requested)) << "requested=" << requested;
+  }
+}
+
+TEST(CellGrid, SingleCellGridAcceptsAnyQueryRadius) {
+  const Box2 box(10.0);
+  const std::vector<Point2> points = {{{1.0, 1.0}}, {{9.0, 9.0}}};
+  const CellGrid<2> grid(points, box, 20.0);
+  ASSERT_EQ(grid.cells_per_axis(), 1u);
+  // One cell covers everything, so no radius can miss a pair.
+  EXPECT_EQ(grid.max_query_radius(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(grid_pairs(points, box, 100.0).size(), 1u);
 }
 
 TEST(CellGrid, ReportedDistanceIsExact) {
