@@ -1,9 +1,22 @@
 #include "common/figure_bench.hpp"
 
+#include "campaign/cli.hpp"
+
 namespace manet::bench {
 
+namespace {
+
+/// "fig7_pstationary: r100/..." -> "fig7_pstationary".
+std::string campaign_name_from_summary(const std::string& summary) {
+  const std::size_t colon = summary.find(':');
+  return colon == std::string::npos ? summary : summary.substr(0, colon);
+}
+
+}  // namespace
+
 std::optional<FigureOptions> parse_figure_options(int argc, const char* const* argv,
-                                                  const std::string& summary) {
+                                                  const std::string& summary,
+                                                  bool with_campaign) {
   CliParser cli(summary);
   cli.add_option("preset", "simulation scale: quick | default | paper", "default");
   cli.add_option("seed", "random seed", "2002");
@@ -16,6 +29,7 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
                  "hardware default, 1 = serial; results are identical)",
                  "0");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
+  if (with_campaign) campaign::add_campaign_cli_options(cli);
 
   try {
     cli.parse(argc, argv);
@@ -45,6 +59,13 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
   }
   options.threads = static_cast<std::size_t>(cli.uint_value("threads"));
   if (options.threads != 0) set_max_parallelism(options.threads);
+  if (with_campaign && campaign::campaign_requested(cli)) {
+    options.campaign = true;
+    options.campaign_name = campaign_name_from_summary(summary);
+    // Inconsistent campaign flags raise ConfigError out of here; the
+    // campaign-enabled figure mains convert that into exit code 1.
+    options.campaign_options = campaign::campaign_options_from_cli(cli, options.campaign_name);
+  }
   return options;
 }
 
@@ -124,15 +145,63 @@ std::vector<FigurePoint> solve_l_sweep(const FigureOptions& options, bool drunka
       });
 }
 
+/// Campaign-mode l-sweep: the MTRM solves route through the resumable
+/// runner via experiments::solve_mtrm_sweep, and the stationary reference
+/// draws from its own substream family (offset by the point count so it
+/// never collides with the sweep's per-point streams). Campaign-mode
+/// numbers therefore differ from legacy-mode ones for the figures that
+/// normalize by r_stationary — both are valid draws of the same estimator;
+/// only the campaign path is resumable (DESIGN.md §11).
+std::vector<FigurePoint> solve_l_sweep_campaign(const FigureOptions& options, bool drunkard,
+                                                bool with_stationary_reference,
+                                                campaign::CampaignRunner& runner) {
+  const ScaleParams scale = options.scale();
+  const auto l_values = experiments::figure_l_values();
+
+  std::vector<MtrmConfig> configs;
+  configs.reserve(l_values.size());
+  for (const double l : l_values) {
+    MtrmConfig config = drunkard ? experiments::drunkard_experiment(l, options.preset)
+                                 : experiments::waypoint_experiment(l, options.preset);
+    apply_scale(config, options);
+    configs.push_back(config);
+  }
+  const auto results = experiments::solve_mtrm_sweep(configs, options.seed, &runner);
+
+  std::vector<FigurePoint> points(l_values.size());
+  for (std::size_t li = 0; li < l_values.size(); ++li) {
+    if (with_stationary_reference) {
+      Rng rs_rng = substream(options.seed, l_values.size() + li);
+      points[li].rs = stationary_reference_range(l_values[li],
+                                                 experiments::paper_node_count(l_values[li]),
+                                                 scale.stationary_trials, options.rs_quantile,
+                                                 rs_rng);
+    }
+    points[li].result = results[li];
+  }
+  return points;
+}
+
+std::vector<FigurePoint> solve_l_sweep_dispatch(const FigureOptions& options, bool drunkard,
+                                                bool with_stationary_reference,
+                                                campaign::CampaignRunner* runner) {
+  if (runner != nullptr) {
+    return solve_l_sweep_campaign(options, drunkard, with_stationary_reference, *runner);
+  }
+  return solve_l_sweep(options, drunkard, with_stationary_reference);
+}
+
 }  // namespace
 
 void run_ratio_figure(const FigureOptions& options, bool drunkard,
-                      const std::string& title, const std::vector<PaperSeries>& paper) {
+                      const std::string& title, const std::vector<PaperSeries>& paper,
+                      campaign::CampaignRunner* runner) {
   TextTable table({"l", "n", "r_stationary", "r100/rs", "paper", "r90/rs", "paper",
                    "r10/rs", "paper", "r0/rs", "paper"});
 
   const auto l_values = experiments::figure_l_values();
-  const auto points = solve_l_sweep(options, drunkard, /*with_stationary_reference=*/true);
+  const auto points =
+      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/true, runner);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);
@@ -153,11 +222,13 @@ void run_ratio_figure(const FigureOptions& options, bool drunkard,
 }
 
 void run_component_figure(const FigureOptions& options, bool drunkard,
-                          const std::string& title, const std::vector<PaperSeries>& paper) {
+                          const std::string& title, const std::vector<PaperSeries>& paper,
+                          campaign::CampaignRunner* runner) {
   TextTable table({"l", "n", "LCC@r90", "paper", "LCC@r10", "paper", "LCC@r0", "paper"});
 
   const auto l_values = experiments::figure_l_values();
-  const auto points = solve_l_sweep(options, drunkard, /*with_stationary_reference=*/false);
+  const auto points =
+      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/false, runner);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "core/experiments.hpp"
 #include "core/mtr.hpp"
 #include "core/mtrm.hpp"
@@ -31,6 +32,14 @@ struct FigureOptions {
   /// 0 keeps the MANET_THREADS / hardware default, 1 forces the serial
   /// path. Results are bit-identical at any setting.
   std::size_t threads = 0;
+  /// Campaign mode (--campaign flag family, campaign/cli.hpp): route the
+  /// sweep through the crash-safe resumable runner. Only figures parsed with
+  /// with_campaign=true register the flags.
+  bool campaign = false;
+  /// Campaign identity, derived from the summary prefix before ':'
+  /// ("fig7_pstationary").
+  std::string campaign_name;
+  campaign::CampaignOptions campaign_options;
 
   ScaleParams scale() const {
     ScaleParams params = scale_for(preset);
@@ -42,8 +51,12 @@ struct FigureOptions {
 
 /// Registers the standard flags, parses argv, and prints help when asked.
 /// Returns nullopt (after printing) when the program should exit.
+/// `with_campaign` additionally registers the --campaign flag family
+/// (campaign/cli.hpp); inconsistent campaign flags raise ConfigError, which
+/// campaign-enabled figure mains catch and turn into exit code 1.
 std::optional<FigureOptions> parse_figure_options(int argc, const char* const* argv,
-                                                  const std::string& summary);
+                                                  const std::string& summary,
+                                                  bool with_campaign = false);
 
 /// r_stationary for n nodes in [0, l]^2 (DESIGN.md convention 1): the
 /// `quantile` of the stationary critical-radius distribution.
@@ -74,12 +87,18 @@ struct PaperSeries {
 /// Figures 2-3 runner: the ratios r100/r90/r10/r0 over r_stationary for
 /// l in {256, 1K, 4K, 16K} under the given mobility configuration factory.
 /// `paper` supplies the digitized reference series in the same order.
+/// With a non-null `runner` the MTRM sweep goes through the campaign runner
+/// (resumable); the stationary reference then draws from its own substream,
+/// so campaign-mode numbers differ from (equally valid) legacy-mode ones —
+/// see DESIGN.md §11.
 void run_ratio_figure(const FigureOptions& options, bool drunkard,
-                      const std::string& title, const std::vector<PaperSeries>& paper);
+                      const std::string& title, const std::vector<PaperSeries>& paper,
+                      campaign::CampaignRunner* runner = nullptr);
 
 /// Figures 4-5 runner: the mean largest-connected-component fraction at
 /// r90 / r10 / r0 for the same sweep.
 void run_component_figure(const FigureOptions& options, bool drunkard,
-                          const std::string& title, const std::vector<PaperSeries>& paper);
+                          const std::string& title, const std::vector<PaperSeries>& paper,
+                          campaign::CampaignRunner* runner = nullptr);
 
 }  // namespace manet::bench

@@ -11,11 +11,14 @@
 
 #include "common/figure_bench.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace manet;
   using namespace manet::bench;
   const auto options = parse_figure_options(
-      argc, argv, "fig2_waypoint_ratios: r_x / r_stationary vs l, random waypoint model");
+      argc, argv, "fig2_waypoint_ratios: r_x / r_stationary vs l, random waypoint model",
+      /*with_campaign=*/true);
   if (!options) return 0;
 
   // Digitized from the published Figure 2 (approximate).
@@ -25,7 +28,21 @@ int main(int argc, char** argv) {
       {"r10/rs", {0.40, 0.42, 0.44, 0.47}},
       {"r0/rs", {0.25, 0.28, 0.31, 0.35}},
   };
+  std::optional<campaign::CampaignRunner> runner;
+  if (options->campaign) runner.emplace(options->campaign_name, options->campaign_options);
   run_ratio_figure(*options, /*drunkard=*/false,
-                   "Figure 2 — r_x / r_stationary vs l (random waypoint)", paper);
+                   "Figure 2 — r_x / r_stationary vs l (random waypoint)", paper,
+                   runner ? &*runner : nullptr);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const manet::ConfigError& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
 }

@@ -8,11 +8,14 @@
 
 #include "common/figure_bench.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace manet;
   using namespace manet::bench;
   const auto options = parse_figure_options(
-      argc, argv, "fig8_tpause: r100/r_stationary vs t_pause (random waypoint)");
+      argc, argv, "fig8_tpause: r100/r_stationary vs t_pause (random waypoint)",
+      /*with_campaign=*/true);
   if (!options) return 0;
 
   Rng rng(options->seed);
@@ -44,7 +47,10 @@ int main(int argc, char** argv) {
     config.time_fractions = {1.0};
     configs.push_back(config);
   }
-  const auto results = experiments::solve_mtrm_sweep(configs, options->seed);
+  std::optional<campaign::CampaignRunner> runner;
+  if (options->campaign) runner.emplace(options->campaign_name, options->campaign_options);
+  const auto results =
+      experiments::solve_mtrm_sweep(configs, options->seed, runner ? &*runner : nullptr);
 
   TextTable table({"t_pause", "r100/rs", "paper (approx)"});
   for (std::size_t i = 0; i < t_values.size(); ++i) {
@@ -54,4 +60,15 @@ int main(int argc, char** argv) {
   }
   print_result(table, *options, "Figure 8 — r100 / r_stationary vs t_pause");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const manet::ConfigError& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
 }

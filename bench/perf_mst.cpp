@@ -23,6 +23,8 @@
 
 #include "geometry/box.hpp"
 #include "sim/deployment.hpp"
+#include "support/bench_json.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "topology/emst_grid.hpp"
 #include "topology/mst.hpp"
@@ -103,14 +105,16 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   bool identical = true;
 
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"emst_grid_vs_dense\",\n");
-  std::printf(
-      "  \"workload\": {\"d\": 2, \"l\": %.1f, \"seed\": %llu, \"point_sets\": %d, "
-      "\"dense\": \"mst_with_metric (Prim, O(n^2))\", "
-      "\"grid\": \"EmstEngine (filtered Kruskal, adaptive radius)\"},\n",
-      side, static_cast<unsigned long long>(seed), sets);
-  std::printf("  \"results\": [\n");
+  // Everything below emits through the shared bench/figure JSON schema
+  // (support/bench_json.hpp) so results/BENCH_mst.json diffs uniformly
+  // against every other perf artifact.
+  BenchReport report("emst_grid_vs_dense");
+  report.add_param("d", JsonValue::number(std::size_t{2}));
+  report.add_param("l", JsonValue::number(side));
+  report.add_param("seed", JsonValue::string(hex_u64(seed)));
+  report.add_param("point_sets", JsonValue::number(static_cast<std::size_t>(sets)));
+  report.add_param("dense", JsonValue::string("mst_with_metric (Prim, O(n^2))"));
+  report.add_param("grid", JsonValue::string("EmstEngine (filtered Kruskal, adaptive radius)"));
 
   for (std::size_t idx = 0; idx < n_sweep.size(); ++idx) {
     const std::size_t n = n_sweep[idx];
@@ -160,17 +164,19 @@ int main(int argc, char** argv) {
 
     dense_seconds /= sets;
     grid_seconds /= sets;
-    std::printf(
-        "    {\"n\": %zu, \"dense_seconds\": %.6f, \"grid_seconds\": %.6f, "
-        "\"speedup\": %.2f, \"doubling_rounds\": %zu, \"candidate_edges\": %zu, "
-        "\"steady_state_allocs_per_solve\": %zu}%s\n",
-        n, dense_seconds, grid_seconds, dense_seconds / grid_seconds, rounds,
-        candidate_edges, steady_allocs, idx + 1 < n_sweep.size() ? "," : "");
+    JsonValue sample = JsonValue::object();
+    sample.set("n", JsonValue::number(n));
+    sample.set("dense_seconds", JsonValue::number(dense_seconds));
+    sample.set("grid_seconds", JsonValue::number(grid_seconds));
+    sample.set("speedup", JsonValue::number(dense_seconds / grid_seconds));
+    sample.set("doubling_rounds", JsonValue::number(rounds));
+    sample.set("candidate_edges", JsonValue::number(candidate_edges));
+    sample.set("steady_state_allocs_per_solve", JsonValue::number(steady_allocs));
+    report.add_sample(std::move(sample));
   }
 
-  std::printf("  ],\n");
-  std::printf("  \"bottlenecks_bit_identical\": %s\n", identical ? "true" : "false");
-  std::printf("}\n");
+  report.add_extra("bottlenecks_bit_identical", JsonValue::boolean(identical));
+  std::printf("%s\n", report.dump().c_str());
 
   if (!identical) {
     std::fprintf(stderr, "FATAL: grid EMST diverged from the dense path\n");

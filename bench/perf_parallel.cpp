@@ -18,6 +18,8 @@
 
 #include "core/experiments.hpp"
 #include "core/mtrm.hpp"
+#include "support/bench_json.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
@@ -69,15 +71,16 @@ int main(int argc, char** argv) {
   double serial_value = 0.0;
   bool deterministic = true;
 
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"parallel_mtrm_scaling\",\n");
-  std::printf(
-      "  \"workload\": {\"model\": \"random_waypoint\", \"l\": %.1f, \"n\": %zu, "
-      "\"steps\": %zu, \"iterations\": %zu, \"seed\": %llu, \"repeats\": %d},\n",
-      config.side, config.node_count, config.steps, config.iterations,
-      static_cast<unsigned long long>(seed), repeats);
-  std::printf("  \"hardware_concurrency\": %zu,\n", max_parallelism());
-  std::printf("  \"results\": [\n");
+  // Shared bench JSON schema (support/bench_json.hpp).
+  BenchReport report("parallel_mtrm_scaling");
+  report.add_param("model", JsonValue::string("random_waypoint"));
+  report.add_param("l", JsonValue::number(config.side));
+  report.add_param("n", JsonValue::number(config.node_count));
+  report.add_param("steps", JsonValue::number(config.steps));
+  report.add_param("iterations", JsonValue::number(config.iterations));
+  report.add_param("seed", JsonValue::string(hex_u64(seed)));
+  report.add_param("repeats", JsonValue::number(static_cast<std::size_t>(repeats)));
+  report.add_param("hardware_concurrency", JsonValue::number(max_parallelism()));
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     const std::size_t threads = thread_counts[i];
     set_max_parallelism(threads);
@@ -95,13 +98,15 @@ int main(int argc, char** argv) {
     } else if (std::memcmp(&value, &serial_value, sizeof(double)) != 0) {
       deterministic = false;
     }
-    std::printf("    {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n", threads,
-                best, serial_seconds / best, i + 1 < thread_counts.size() ? "," : "");
+    JsonValue sample = JsonValue::object();
+    sample.set("threads", JsonValue::number(threads));
+    sample.set("seconds", JsonValue::number(best));
+    sample.set("speedup", JsonValue::number(serial_seconds / best));
+    report.add_sample(std::move(sample));
   }
   set_max_parallelism(0);
-  std::printf("  ],\n");
-  std::printf("  \"bit_identical_across_thread_counts\": %s\n", deterministic ? "true" : "false");
-  std::printf("}\n");
+  report.add_extra("bit_identical_across_thread_counts", JsonValue::boolean(deterministic));
+  std::printf("%s\n", report.dump().c_str());
 
   if (!deterministic) {
     std::fprintf(stderr, "FATAL: results diverged across thread counts\n");

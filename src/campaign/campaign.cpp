@@ -1,0 +1,305 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <system_error>
+#include <utility>
+
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+#include "support/bench_json.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+
+namespace manet::campaign {
+
+namespace {
+
+std::mutex g_kill_hook_mutex;
+detail::KillHook g_kill_hook;  // NOLINT(cert-err58-cpp)
+
+/// Fault injection: by default die the way a crash would — std::_Exit, no
+/// destructors, no stream flushes. Tests install a throwing hook instead.
+void trigger_kill() {
+  detail::KillHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(g_kill_hook_mutex);
+    hook = g_kill_hook;
+  }
+  if (hook) {
+    hook();
+    return;
+  }
+  std::_Exit(kKillExitCode);
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One decomposed work unit: iterations [begin, end) of sweep point `point`.
+struct UnitWork {
+  std::size_t point = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string canonical;
+  std::uint64_t key = 0;
+};
+
+}  // namespace
+
+namespace detail {
+
+void set_kill_hook(KillHook hook) {
+  const std::lock_guard<std::mutex> lock(g_kill_hook_mutex);
+  g_kill_hook = std::move(hook);
+}
+
+}  // namespace detail
+
+CampaignRunner::CampaignRunner(std::string name, CampaignOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (name_.empty()) throw ConfigError("campaign: name must not be empty");
+  if (options_.dir.empty()) {
+    throw ConfigError("campaign: a campaign directory is required (--campaign-dir)");
+  }
+  if (options_.checkpoint_every == 0) {
+    throw ConfigError("campaign: --checkpoint-every must be >= 1");
+  }
+}
+
+std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> points) {
+  report_ = CampaignReport{};
+  for (const MtrmSweepPoint& point : points) point.config.validate();
+
+  // Decompose each point's iteration budget into blocks. The unit list is a
+  // pure function of (points, options.unit_iterations): the same sweep
+  // always decomposes identically, which is what lets a resumed process
+  // recognize its predecessor's work.
+  std::vector<UnitWork> units;
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    const std::size_t iterations = points[point].config.iterations;
+    std::size_t block = options_.unit_iterations;
+    if (block == 0) block = std::max<std::size_t>(1, iterations / 8);
+    block = std::min(block, iterations);
+    for (std::size_t begin = 0; begin < iterations; begin += block) {
+      const std::size_t end = std::min(begin + block, iterations);
+      UnitWork unit;
+      unit.point = point;
+      unit.begin = begin;
+      unit.end = end;
+      unit.canonical = canonical_unit_string(points[point], begin, end);
+      unit.key = unit_key(unit.canonical);
+      units.push_back(std::move(unit));
+    }
+  }
+  report_.units_total = units.size();
+
+  // Campaign identity: the name plus every unit's canonical string. Two
+  // invocations with equal sweeps agree on this key; anything else (other
+  // figure, other seed, other preset/overrides) does not.
+  std::uint64_t campaign_key = fnv1a(name_);
+  campaign_key = fnv1a("\n", campaign_key);
+  for (const UnitWork& unit : units) {
+    campaign_key = fnv1a(unit.canonical, campaign_key);
+    campaign_key = fnv1a("\n", campaign_key);
+  }
+
+  const std::filesystem::path dir(options_.dir);
+  const std::filesystem::path manifest_path = dir / "manifest.json";
+
+  if (options_.resume) {
+    std::error_code ec;
+    if (!std::filesystem::exists(manifest_path, ec) || ec) {
+      throw ConfigError("campaign --resume: no manifest at " + manifest_path.string() +
+                        " (run without --resume to start this campaign)");
+    }
+    const Manifest previous = load_manifest(manifest_path);
+    if (previous.campaign_key != campaign_key) {
+      throw ConfigError("campaign --resume: manifest at " + manifest_path.string() +
+                        " describes campaign '" + previous.campaign + "' (key " +
+                        hex_u64(previous.campaign_key) + "), not the requested sweep (key " +
+                        hex_u64(campaign_key) + "); use a fresh --campaign-dir");
+    }
+  }
+
+  Manifest manifest;
+  manifest.campaign = name_;
+  manifest.campaign_key = campaign_key;
+  manifest.points = points.size();
+  manifest.units.reserve(units.size());
+  for (const UnitWork& unit : units) {
+    manifest.units.push_back(ManifestUnit{unit.point, unit.begin, unit.end, unit.key});
+  }
+
+  const ResultStore store{std::filesystem::path(options_.store_dir)};
+
+  // Replay: probe the store for every unit. Completed units load back
+  // bit-identically; the pending list (in unit order) starts at the first
+  // missing unit.
+  std::vector<std::vector<MtrmIterationOutcome>> unit_outcomes(units.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    bool corrupt = false;
+    auto cached = store.load(units[i].canonical, units[i].end - units[i].begin, &corrupt);
+    if (corrupt) ++report_.invalid_store_entries;
+    if (cached.has_value()) {
+      unit_outcomes[i] = std::move(*cached);
+      ++report_.cache_hits;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  manifest.progress.units_done = report_.cache_hits;
+  manifest.progress.cache_hits = report_.cache_hits;
+  manifest.progress.invalid_store_entries = report_.invalid_store_entries;
+  save_manifest_atomic(manifest_path, manifest);
+
+  if (!options_.quiet) {
+    std::fprintf(stderr,
+                 "[campaign %s] %zu points, %zu units (%zu cached, %zu to run) -> %s\n",
+                 name_.c_str(), points.size(), units.size(), report_.cache_hits,
+                 pending.size(), options_.dir.c_str());
+  }
+
+  // Execute the missing units on the deterministic parallel engine. Each
+  // unit is persisted (atomically) before it counts as done, so a crash at
+  // any instant loses at most the in-flight units.
+  if (!pending.empty()) {
+    std::mutex progress_mutex;
+    std::size_t executed_done = 0;
+    double exec_seconds_total = 0.0;
+    std::atomic<std::size_t> executed_for_kill{0};
+
+    auto executed = parallel_for_trials(
+        pending.size(), /*seed=*/0,
+        [&](std::size_t job, Rng& /*unused*/) {
+          const UnitWork& unit = units[pending[job]];
+          const MtrmSweepPoint& point = points[unit.point];
+
+          const double start = now_seconds();
+          std::vector<MtrmIterationOutcome> outcomes;
+          outcomes.reserve(unit.end - unit.begin);
+          for (std::size_t iteration = unit.begin; iteration < unit.end; ++iteration) {
+            Rng iteration_rng = substream(point.trial_root, iteration);
+            outcomes.push_back(run_mtrm_iteration<2>(point.config, iteration_rng));
+          }
+          store.save(unit.canonical, outcomes);
+          const double seconds = now_seconds() - start;
+
+          {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            ++executed_done;
+            exec_seconds_total += seconds;
+            if (!options_.quiet) {
+              const double mean = exec_seconds_total / static_cast<double>(executed_done);
+              const double eta =
+                  mean * static_cast<double>(pending.size() - executed_done);
+              std::fprintf(stderr,
+                           "[campaign %s] unit %zu/%zu done (point=%zu iters=[%zu,%zu) "
+                           "%.3fs, mean %.3fs, eta %.1fs, %zu cached)\n",
+                           name_.c_str(), report_.cache_hits + executed_done, units.size(),
+                           unit.point, unit.begin, unit.end, seconds, mean, eta,
+                           report_.cache_hits);
+            }
+            if (executed_done % options_.checkpoint_every == 0) {
+              manifest.progress.units_done = report_.cache_hits + executed_done;
+              manifest.progress.executed = executed_done;
+              manifest.progress.unit_seconds_total = exec_seconds_total;
+              save_manifest_atomic(manifest_path, manifest);
+            }
+          }
+
+          if (options_.kill_after != 0 &&
+              executed_for_kill.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                  options_.kill_after) {
+            if (!options_.quiet) {
+              std::fprintf(stderr, "[campaign %s] --kill-after %zu: simulating a crash\n",
+                           name_.c_str(), options_.kill_after);
+            }
+            trigger_kill();
+          }
+          return outcomes;
+        });
+
+    for (std::size_t job = 0; job < pending.size(); ++job) {
+      unit_outcomes[pending[job]] = std::move(executed[job]);
+    }
+    report_.executed = pending.size();
+    report_.unit_seconds_total = exec_seconds_total;
+  }
+
+  // Merge: concatenate each point's outcomes in iteration order (the unit
+  // list is point-major, block-ascending) and fold through the same
+  // order-sensitive fold as solve_mtrm — the step that makes the campaign
+  // result bit-identical to the in-process sweep.
+  std::vector<std::vector<MtrmIterationOutcome>> per_point(points.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    auto& destination = per_point[units[i].point];
+    for (MtrmIterationOutcome& outcome : unit_outcomes[i]) {
+      destination.push_back(std::move(outcome));
+    }
+  }
+  std::vector<MtrmResult> results;
+  results.reserve(points.size());
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    results.push_back(fold_mtrm_outcomes(points[point].config, per_point[point]));
+  }
+
+  manifest.progress.units_done = units.size();
+  manifest.progress.cache_hits = report_.cache_hits;
+  manifest.progress.executed = report_.executed;
+  manifest.progress.invalid_store_entries = report_.invalid_store_entries;
+  manifest.progress.unit_seconds_total = report_.unit_seconds_total;
+  manifest.progress.complete = true;
+  save_manifest_atomic(manifest_path, manifest);
+
+  // Final results artifact (support/bench_json schema). Deliberately free of
+  // timestamps, timings and cache accounting: two runs of the same campaign
+  // on the same build must produce byte-identical files, which is what the
+  // interrupt/resume smoke test compares.
+  BenchReport result_report("campaign_" + name_);
+  result_report.add_param("campaign", JsonValue::string(name_));
+  result_report.add_param("campaign_key", JsonValue::string(hex_u64(campaign_key)));
+  result_report.add_param("points", JsonValue::number(points.size()));
+  result_report.add_param("units", JsonValue::number(units.size()));
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    const MtrmConfig& config = points[point].config;
+    JsonValue sample = JsonValue::object();
+    sample.set("point", JsonValue::number(point));
+    sample.set("node_count", JsonValue::number(config.node_count));
+    sample.set("side", JsonValue::number(config.side));
+    sample.set("steps", JsonValue::number(config.steps));
+    sample.set("iterations", JsonValue::number(config.iterations));
+    sample.set("mobility", JsonValue::string(mobility_kind_name(config.mobility.kind)));
+    sample.set("trial_root", JsonValue::string(hex_u64(points[point].trial_root)));
+    const std::vector<double> flattened = flatten_mtrm_result(results[point]);
+    sample.set("result_checksum", JsonValue::string(hex_u64(fnv1a_bits(flattened))));
+    JsonValue values = JsonValue::array();
+    for (const double value : flattened) values.push_back(JsonValue::number(value));
+    sample.set("flattened_result", std::move(values));
+    result_report.add_sample(std::move(sample));
+  }
+  write_text_file_atomic(dir / "result.json", result_report.dump());
+
+  if (!options_.quiet) {
+    std::fprintf(stderr,
+                 "[campaign %s] complete: %zu units (%zu cached, %zu executed, %.3fs "
+                 "unit time) -> %s\n",
+                 name_.c_str(), report_.units_total, report_.cache_hits, report_.executed,
+                 report_.unit_seconds_total, (dir / "result.json").string().c_str());
+  }
+  return results;
+}
+
+}  // namespace manet::campaign

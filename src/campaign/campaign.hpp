@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+
+namespace manet::campaign {
+
+/// Exit code of the --kill-after fault-injection hook: the process dies via
+/// std::_Exit with this code, skipping every destructor and buffer flush —
+/// the closest portable stand-in for a hard crash. The CI smoke job and the
+/// campaign tests assert on it.
+inline constexpr int kKillExitCode = 42;
+
+/// Knobs of a campaign run (CLI mapping in campaign/cli.hpp).
+struct CampaignOptions {
+  /// Campaign directory: manifest.json + result.json live here. Required.
+  std::string dir;
+  /// Content-addressed unit store, shared across campaigns/runs by default.
+  std::string store_dir = "results/store";
+  /// Replay an existing manifest: it must be present and describe this very
+  /// campaign, else the run is rejected with a ConfigError. Completed units
+  /// are served from the store bit-identically; execution continues from the
+  /// first missing unit.
+  bool resume = false;
+  /// Fault injection: hard-kill the process (std::_Exit(kKillExitCode))
+  /// after this many units were *executed* (cache hits don't count).
+  /// 0 disables.
+  std::size_t kill_after = 0;
+  /// Iterations per work unit; 0 = auto (about an eighth of each point's
+  /// iteration budget, at least 1 — small enough that an interrupt loses
+  /// little, large enough that store/manifest traffic stays negligible).
+  std::size_t unit_iterations = 0;
+  /// Manifest progress flush period, in completed units. Advisory telemetry
+  /// only — resume correctness never depends on flush timing.
+  std::size_t checkpoint_every = 8;
+  /// Suppresses the stderr progress stream (tests).
+  bool quiet = false;
+};
+
+/// Outcome accounting of the last run_points() call, also persisted in the
+/// manifest's progress block.
+struct CampaignReport {
+  std::size_t units_total = 0;
+  std::size_t cache_hits = 0;
+  std::size_t executed = 0;
+  /// Present-but-unusable store entries (corrupt / colliding); recomputed.
+  std::size_t invalid_store_entries = 0;
+  double unit_seconds_total = 0.0;
+};
+
+/// Crash-safe, resumable executor for Monte-Carlo figure sweeps.
+///
+/// A sweep is decomposed into deterministic work units — (parameter point,
+/// iteration block) pairs keyed by the order-independent substream seeding
+/// of support/rng.hpp — so the unit set, each unit's result, and the final
+/// fold are all independent of execution order, thread count and of which
+/// process computed what. Units execute on the deterministic parallel
+/// engine; each completed unit is persisted atomically to the
+/// content-addressed ResultStore before it counts as done. The merged sweep
+/// result is therefore bit-identical to experiments::solve_mtrm_sweep's
+/// in-process path, whether the campaign ran uninterrupted, was killed and
+/// resumed, or was served entirely from cache (tests/campaign_test.cpp pins
+/// all three, including the PR-2 golden MTRM checksums).
+///
+/// On completion the runner writes `<dir>/result.json` (support/bench_json
+/// schema) with one sample per sweep point, including a per-point FNV-1a
+/// checksum of the flattened result — the file two runs of the same
+/// campaign must match byte-for-byte.
+class CampaignRunner final : public MtrmSweepExecutor {
+ public:
+  /// `name` identifies the campaign in the manifest, telemetry and
+  /// result.json ("fig7_pstationary"). Throws ConfigError on inconsistent
+  /// options (empty dir, zero checkpoint period).
+  CampaignRunner(std::string name, CampaignOptions options);
+
+  /// Executes the sweep as described above and returns the merged results
+  /// in point order. Throws ConfigError on resume-validation failures.
+  std::vector<MtrmResult> run_points(std::vector<MtrmSweepPoint> points) override;
+
+  const std::string& name() const noexcept { return name_; }
+  const CampaignOptions& options() const noexcept { return options_; }
+  /// Accounting of the last run_points() call.
+  const CampaignReport& report() const noexcept { return report_; }
+
+ private:
+  std::string name_;
+  CampaignOptions options_;
+  CampaignReport report_;
+};
+
+namespace detail {
+
+/// Test seam for the --kill-after fault injection: when a hook is set it is
+/// invoked instead of std::_Exit(kKillExitCode), letting tests simulate the
+/// kill with an exception and then exercise resume in-process. An empty
+/// function restores the default hard-exit behavior.
+using KillHook = std::function<void()>;
+void set_kill_hook(KillHook hook);
+
+}  // namespace detail
+}  // namespace manet::campaign

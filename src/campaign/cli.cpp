@@ -1,0 +1,61 @@
+#include "campaign/cli.hpp"
+
+#include "support/error.hpp"
+
+namespace manet::campaign {
+
+void add_campaign_cli_options(CliParser& cli) {
+  cli.add_flag("campaign",
+               "run the sweep as a resumable campaign (crash-safe work units, "
+               "content-addressed result store)");
+  cli.add_option("campaign-dir",
+                 "campaign directory holding manifest.json and result.json "
+                 "(default: results/campaigns/<figure>)",
+                 "");
+  cli.add_option("store-dir", "content-addressed unit store, shared across campaigns",
+                 "results/store");
+  cli.add_flag("resume",
+               "replay the campaign manifest: completed units load from the store "
+               "bit-identically, execution continues from the first missing unit");
+  cli.add_option("kill-after",
+                 "fault injection: hard-exit the process (exit code 42) after this "
+                 "many executed units; 0 disables",
+                 "0");
+  cli.add_option("unit-iterations",
+                 "iterations per campaign work unit (0 = auto, about 1/8 of each "
+                 "point's budget)",
+                 "0");
+  cli.add_option("checkpoint-every",
+                 "manifest progress flush period, in completed units", "8");
+  cli.add_flag("campaign-quiet", "suppress the campaign progress stream on stderr");
+}
+
+bool campaign_requested(const CliParser& cli) {
+  return cli.flag("campaign") || cli.flag("resume") || cli.was_set("campaign-dir") ||
+         cli.uint_value("kill-after") != 0;
+}
+
+CampaignOptions campaign_options_from_cli(const CliParser& cli,
+                                          const std::string& campaign_name) {
+  if (campaign_name.empty()) {
+    throw ConfigError("campaign: campaign name must not be empty");
+  }
+  CampaignOptions options;
+  options.dir = cli.string_value("campaign-dir");
+  if (options.dir.empty()) options.dir = "results/campaigns/" + campaign_name;
+  options.store_dir = cli.string_value("store-dir");
+  if (options.store_dir.empty()) {
+    throw ConfigError("campaign: --store-dir must not be empty");
+  }
+  options.resume = cli.flag("resume");
+  options.kill_after = static_cast<std::size_t>(cli.uint_value("kill-after"));
+  options.unit_iterations = static_cast<std::size_t>(cli.uint_value("unit-iterations"));
+  options.checkpoint_every = static_cast<std::size_t>(cli.uint_value("checkpoint-every"));
+  if (options.checkpoint_every == 0) {
+    throw ConfigError("campaign: --checkpoint-every must be >= 1");
+  }
+  options.quiet = cli.flag("campaign-quiet");
+  return options;
+}
+
+}  // namespace manet::campaign

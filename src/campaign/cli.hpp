@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "support/cli.hpp"
+
+namespace manet::campaign {
+
+/// Registers the campaign flag family on a CliParser:
+///
+///   --campaign            run the sweep through the campaign runner
+///   --campaign-dir DIR    manifest/result directory
+///                         (default results/campaigns/<name>)
+///   --store-dir DIR       content-addressed unit store (default results/store)
+///   --resume              replay the manifest, continue from the first
+///                         missing unit (implies --campaign)
+///   --kill-after N        fault injection: hard-exit (code 42) after N
+///                         executed units (implies --campaign)
+///   --unit-iterations N   iterations per work unit (0 = auto)
+///   --checkpoint-every N  manifest flush period in completed units
+///   --campaign-quiet      suppress the stderr progress stream
+void add_campaign_cli_options(CliParser& cli);
+
+/// True when any of the registered flags asks for campaign mode
+/// (--campaign, --resume, --kill-after, or an explicit --campaign-dir).
+bool campaign_requested(const CliParser& cli);
+
+/// Materializes CampaignOptions from parsed flags. `campaign_name` supplies
+/// the default --campaign-dir (results/campaigns/<name>). Throws ConfigError
+/// on inconsistent values (e.g. --checkpoint-every 0).
+CampaignOptions campaign_options_from_cli(const CliParser& cli,
+                                          const std::string& campaign_name);
+
+}  // namespace manet::campaign

@@ -1,0 +1,91 @@
+#include "campaign/manifest.hpp"
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace manet::campaign {
+
+std::string Manifest::dump() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version",
+          JsonValue::number(static_cast<std::size_t>(kManifestSchemaVersion)));
+  doc.set("kind", JsonValue::string("manet-campaign-manifest"));
+  doc.set("campaign", JsonValue::string(campaign));
+  doc.set("campaign_key", JsonValue::string(hex_u64(campaign_key)));
+  doc.set("points", JsonValue::number(points));
+
+  JsonValue units_json = JsonValue::array();
+  for (const ManifestUnit& unit : units) {
+    JsonValue unit_json = JsonValue::object();
+    unit_json.set("point", JsonValue::number(unit.point));
+    unit_json.set("begin", JsonValue::number(unit.begin));
+    unit_json.set("end", JsonValue::number(unit.end));
+    unit_json.set("key", JsonValue::string(hex_u64(unit.key)));
+    units_json.push_back(std::move(unit_json));
+  }
+  doc.set("units", std::move(units_json));
+
+  JsonValue progress_json = JsonValue::object();
+  progress_json.set("units_done", JsonValue::number(progress.units_done));
+  progress_json.set("cache_hits", JsonValue::number(progress.cache_hits));
+  progress_json.set("executed", JsonValue::number(progress.executed));
+  progress_json.set("invalid_store_entries",
+                    JsonValue::number(progress.invalid_store_entries));
+  progress_json.set("unit_seconds_total", JsonValue::number(progress.unit_seconds_total));
+  progress_json.set("complete", JsonValue::boolean(progress.complete));
+  doc.set("progress", std::move(progress_json));
+  return doc.dump(2);
+}
+
+Manifest Manifest::parse(const std::string& text, const std::string& origin) {
+  try {
+    const JsonValue doc = JsonValue::parse(text);
+    if (doc.at("kind").as_string() != "manet-campaign-manifest") {
+      throw ConfigError("not a campaign manifest (kind mismatch)");
+    }
+    const std::uint64_t version = doc.at("schema_version").as_uint();
+    if (version != static_cast<std::uint64_t>(kManifestSchemaVersion)) {
+      throw ConfigError("unsupported manifest schema_version " + std::to_string(version) +
+                        " (this build reads v" + std::to_string(kManifestSchemaVersion) +
+                        ")");
+    }
+
+    Manifest manifest;
+    manifest.campaign = doc.at("campaign").as_string();
+    manifest.campaign_key = parse_hex_u64(doc.at("campaign_key").as_string());
+    manifest.points = doc.at("points").as_uint();
+    for (const JsonValue& unit_json : doc.at("units").items()) {
+      ManifestUnit unit;
+      unit.point = unit_json.at("point").as_uint();
+      unit.begin = unit_json.at("begin").as_uint();
+      unit.end = unit_json.at("end").as_uint();
+      unit.key = parse_hex_u64(unit_json.at("key").as_string());
+      if (unit.begin >= unit.end) throw ConfigError("unit with empty iteration block");
+      manifest.units.push_back(unit);
+    }
+    const JsonValue& progress_json = doc.at("progress");
+    manifest.progress.units_done = progress_json.at("units_done").as_uint();
+    manifest.progress.cache_hits = progress_json.at("cache_hits").as_uint();
+    manifest.progress.executed = progress_json.at("executed").as_uint();
+    manifest.progress.invalid_store_entries =
+        progress_json.at("invalid_store_entries").as_uint();
+    manifest.progress.unit_seconds_total =
+        progress_json.at("unit_seconds_total").as_double();
+    manifest.progress.complete = progress_json.at("complete").as_bool();
+    return manifest;
+  } catch (const ConfigError& error) {
+    throw ConfigError(origin + ": invalid campaign manifest: " + error.what());
+  }
+}
+
+Manifest load_manifest(const std::filesystem::path& path) {
+  return Manifest::parse(read_text_file(path), path.string());
+}
+
+void save_manifest_atomic(const std::filesystem::path& path, const Manifest& manifest) {
+  write_text_file_atomic(path, manifest.dump());
+}
+
+}  // namespace manet::campaign

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace manet::campaign {
+
+/// Schema version of the run manifest. Bump on layout changes; --resume
+/// rejects manifests from other versions with a ConfigError rather than
+/// guessing.
+inline constexpr int kManifestSchemaVersion = 1;
+
+/// One work unit as recorded in the manifest: iterations [begin, end) of
+/// sweep point `point`, stored under content address `key`.
+struct ManifestUnit {
+  std::size_t point = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t key = 0;
+};
+
+/// Progress/telemetry block, refreshed by the periodic checkpoint flushes
+/// while a campaign runs and finalized on completion. Advisory only: resume
+/// correctness never depends on it (the store is the source of truth for
+/// which units are done), so a crash between flushes loses no work.
+struct ManifestProgress {
+  std::size_t units_done = 0;
+  std::size_t cache_hits = 0;
+  std::size_t executed = 0;
+  std::size_t invalid_store_entries = 0;
+  double unit_seconds_total = 0.0;
+  bool complete = false;
+};
+
+/// The run manifest persisted at `<campaign-dir>/manifest.json`. Identifies
+/// the campaign (name + content key over every unit's canonical string),
+/// lists the unit decomposition, and carries the progress block. --resume
+/// replays it: the manifest must parse, carry the expected schema version
+/// and match the requested campaign's key, otherwise the run is rejected
+/// with a clear ConfigError.
+struct Manifest {
+  std::string campaign;
+  std::uint64_t campaign_key = 0;
+  std::size_t points = 0;
+  std::vector<ManifestUnit> units;
+  ManifestProgress progress;
+
+  /// Renders the manifest as pretty-printed JSON (deterministic given equal
+  /// content; see support/json.hpp).
+  std::string dump() const;
+
+  /// Parses and validates a manifest document. `origin` (a path, typically)
+  /// prefixes every error message. Throws ConfigError on malformed JSON,
+  /// wrong kind/schema version or missing fields.
+  static Manifest parse(const std::string& text, const std::string& origin);
+};
+
+/// Reads and parses `<path>`; ConfigError (naming the path) when absent,
+/// unreadable or invalid.
+Manifest load_manifest(const std::filesystem::path& path);
+
+/// Atomically writes the manifest (temp + rename, support/fs.hpp).
+void save_manifest_atomic(const std::filesystem::path& path, const Manifest& manifest);
+
+}  // namespace manet::campaign

@@ -1,0 +1,173 @@
+#include "campaign/result_store.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace manet::campaign {
+
+namespace {
+
+/// Binary64 round-trip rendering (17 significant digits): one double, one
+/// byte sequence — the canonical string must be a pure function of the
+/// values it encodes.
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void append_fractions(std::ostringstream& out, const char* label,
+                      const std::vector<double>& fractions) {
+  out << label << '=';
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    if (i > 0) out << ',';
+    out << fmt_double(fractions[i]);
+  }
+  out << '\n';
+}
+
+JsonValue doubles_to_json(const std::vector<double>& values) {
+  JsonValue array = JsonValue::array();
+  for (const double value : values) array.push_back(JsonValue::number(value));
+  return array;
+}
+
+std::vector<double> doubles_from_json(const JsonValue& array) {
+  std::vector<double> values;
+  values.reserve(array.items().size());
+  for (const JsonValue& item : array.items()) values.push_back(item.as_double());
+  return values;
+}
+
+JsonValue outcome_to_json(const MtrmIterationOutcome& outcome) {
+  JsonValue doc = JsonValue::object();
+  doc.set("range_for_time", doubles_to_json(outcome.range_for_time));
+  doc.set("lcc_at_range_for_time", doubles_to_json(outcome.lcc_at_range_for_time));
+  doc.set("min_lcc_at_range_for_time", doubles_to_json(outcome.min_lcc_at_range_for_time));
+  doc.set("range_never_connected", JsonValue::number(outcome.range_never_connected));
+  doc.set("lcc_at_range_never", JsonValue::number(outcome.lcc_at_range_never));
+  doc.set("range_for_component", doubles_to_json(outcome.range_for_component));
+  doc.set("mean_critical_range", JsonValue::number(outcome.mean_critical_range));
+  return doc;
+}
+
+MtrmIterationOutcome outcome_from_json(const JsonValue& doc) {
+  MtrmIterationOutcome outcome;
+  outcome.range_for_time = doubles_from_json(doc.at("range_for_time"));
+  outcome.lcc_at_range_for_time = doubles_from_json(doc.at("lcc_at_range_for_time"));
+  outcome.min_lcc_at_range_for_time = doubles_from_json(doc.at("min_lcc_at_range_for_time"));
+  outcome.range_never_connected = doc.at("range_never_connected").as_double();
+  outcome.lcc_at_range_never = doc.at("lcc_at_range_never").as_double();
+  outcome.range_for_component = doubles_from_json(doc.at("range_for_component"));
+  outcome.mean_critical_range = doc.at("mean_critical_range").as_double();
+  return outcome;
+}
+
+}  // namespace
+
+std::string canonical_unit_string(const MtrmSweepPoint& point, std::size_t begin,
+                                  std::size_t end) {
+  const MtrmConfig& config = point.config;
+  std::ostringstream out;
+  out << "manet-campaign-unit/v" << kUnitSchemaVersion << '\n';
+  out << "d=2\n";
+  out << "node_count=" << config.node_count << '\n';
+  out << "side=" << fmt_double(config.side) << '\n';
+  out << "steps=" << config.steps << '\n';
+  out << "mobility=" << mobility_kind_name(config.mobility.kind) << '\n';
+  switch (config.mobility.kind) {
+    case MobilityKind::kStationary:
+      break;
+    case MobilityKind::kRandomWaypoint: {
+      const RandomWaypointParams& p = config.mobility.waypoint;
+      out << "v_min=" << fmt_double(p.v_min) << '\n';
+      out << "v_max=" << fmt_double(p.v_max) << '\n';
+      out << "pause_steps=" << p.pause_steps << '\n';
+      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
+      break;
+    }
+    case MobilityKind::kDrunkard: {
+      const DrunkardParams& p = config.mobility.drunkard;
+      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
+      out << "p_pause=" << fmt_double(p.p_pause) << '\n';
+      out << "step_radius=" << fmt_double(p.step_radius) << '\n';
+      break;
+    }
+    case MobilityKind::kRandomDirection: {
+      const RandomDirectionParams& p = config.mobility.direction;
+      out << "v_min=" << fmt_double(p.v_min) << '\n';
+      out << "v_max=" << fmt_double(p.v_max) << '\n';
+      out << "p_turn=" << fmt_double(p.p_turn) << '\n';
+      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
+      break;
+    }
+  }
+  append_fractions(out, "time_fractions", config.time_fractions);
+  append_fractions(out, "component_fractions", config.component_fractions);
+  out << "trial_root=" << hex_u64(point.trial_root) << '\n';
+  out << "iterations=[" << begin << ',' << end << ")\n";
+  return std::move(out).str();
+}
+
+std::uint64_t unit_key(const std::string& canonical) { return fnv1a(canonical); }
+
+ResultStore::ResultStore(std::filesystem::path dir) : dir_(std::move(dir)) {}
+
+std::filesystem::path ResultStore::path_for(const std::string& canonical) const {
+  return dir_ / (hex_u64(unit_key(canonical)) + ".json");
+}
+
+std::optional<std::vector<MtrmIterationOutcome>> ResultStore::load(
+    const std::string& canonical, std::size_t expected_outcomes, bool* corrupt) const {
+  const std::filesystem::path path = path_for(canonical);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+
+  try {
+    const JsonValue doc = JsonValue::parse(read_text_file(path));
+    if (doc.at("schema_version").as_uint() != static_cast<std::uint64_t>(kUnitSchemaVersion) ||
+        doc.at("kind").as_string() != "manet-campaign-unit" ||
+        doc.at("canonical").as_string() != canonical) {
+      if (corrupt != nullptr) *corrupt = true;
+      return std::nullopt;
+    }
+    const JsonValue& outcomes_json = doc.at("outcomes");
+    if (outcomes_json.items().size() != expected_outcomes) {
+      if (corrupt != nullptr) *corrupt = true;
+      return std::nullopt;
+    }
+    std::vector<MtrmIterationOutcome> outcomes;
+    outcomes.reserve(expected_outcomes);
+    for (const JsonValue& item : outcomes_json.items()) {
+      outcomes.push_back(outcome_from_json(item));
+    }
+    return outcomes;
+  } catch (const ConfigError&) {
+    // Unreadable / unparsable / wrong shape: a miss, to be recomputed.
+    if (corrupt != nullptr) *corrupt = true;
+    return std::nullopt;
+  }
+}
+
+void ResultStore::save(const std::string& canonical,
+                       std::span<const MtrmIterationOutcome> outcomes) const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue::number(static_cast<std::size_t>(kUnitSchemaVersion)));
+  doc.set("kind", JsonValue::string("manet-campaign-unit"));
+  doc.set("key", JsonValue::string(hex_u64(unit_key(canonical))));
+  doc.set("canonical", JsonValue::string(canonical));
+  JsonValue outcomes_json = JsonValue::array();
+  for (const MtrmIterationOutcome& outcome : outcomes) {
+    outcomes_json.push_back(outcome_to_json(outcome));
+  }
+  doc.set("outcomes", std::move(outcomes_json));
+  write_text_file_atomic(path_for(canonical), doc.dump(2));
+}
+
+}  // namespace manet::campaign

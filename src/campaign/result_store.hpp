@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+
+namespace manet::campaign {
+
+/// Schema version of the persisted unit files. Bump on any change to the
+/// canonical string or the outcome layout; old entries then read as misses
+/// and are recomputed, never misinterpreted.
+inline constexpr int kUnitSchemaVersion = 1;
+
+/// Canonical, schema-versioned serialization of everything a unit's result
+/// depends on: dimension, the experiment parameters that reach
+/// run_mtrm_iteration, the trial-substream root and the iteration block
+/// [begin, end). Two units with equal canonical strings compute bit-identical
+/// outcome vectors, so the FNV-1a of this string is the unit's content
+/// address. Deliberately *excluded*: config.iterations (a unit only depends
+/// on its own block, so a quick 4-iteration campaign shares store entries
+/// with a 50-iteration paper campaign over the same parameters) and
+/// anything about the enclosing sweep (point index, seed) — the root alone
+/// pins the streams.
+std::string canonical_unit_string(const MtrmSweepPoint& point, std::size_t begin,
+                                  std::size_t end);
+
+/// Content address of a unit: FNV-1a 64 of its canonical string.
+std::uint64_t unit_key(const std::string& canonical);
+
+/// Content-addressed, crash-safe store of completed campaign units:
+/// `<dir>/<fnv1a-hex>.json`, each file written atomically (temp + rename,
+/// support/fs.hpp) so a reader never observes a torn entry. The store is
+/// shared by all campaigns pointed at the same directory — equal work is
+/// fetched, not recomputed, across reruns, resumes and even different
+/// sweeps containing the same parameter point.
+class ResultStore {
+ public:
+  explicit ResultStore(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// File that does / would hold the unit with this canonical string.
+  std::filesystem::path path_for(const std::string& canonical) const;
+
+  /// Fetches a completed unit. Returns nullopt on a miss — absent file,
+  /// unparsable JSON, schema mismatch, canonical-string mismatch (hash
+  /// collision or tampering) or wrong outcome count. A corrupt-but-present
+  /// entry also sets `*corrupt` (when given) so callers can report it; it
+  /// is still just a miss, so a damaged store heals by recompute-and-rewrite
+  /// rather than failing the campaign.
+  std::optional<std::vector<MtrmIterationOutcome>> load(const std::string& canonical,
+                                                        std::size_t expected_outcomes,
+                                                        bool* corrupt = nullptr) const;
+
+  /// Persists a completed unit atomically. Doubles are serialized with the
+  /// binary64 round-trip guarantee (support/json.hpp), so load() returns
+  /// bit-identical outcomes.
+  void save(const std::string& canonical,
+            std::span<const MtrmIterationOutcome> outcomes) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace manet::campaign

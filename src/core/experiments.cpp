@@ -41,7 +41,21 @@ ScaleParams scale_for(Preset preset) {
 namespace experiments {
 
 std::vector<MtrmResult> solve_mtrm_sweep(const std::vector<MtrmConfig>& configs,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed,
+                                         MtrmSweepExecutor* executor) {
+  if (executor != nullptr) {
+    // Same derivation as the legacy path below: point i's substream is
+    // substream(seed, i) and solve_mtrm consumes exactly one draw from it
+    // for the trial root — so the executor sees the identical roots and its
+    // results are bit-identical to the in-process sweep.
+    std::vector<MtrmSweepPoint> points;
+    points.reserve(configs.size());
+    for (std::size_t point = 0; point < configs.size(); ++point) {
+      Rng point_rng = substream(seed, point);
+      points.push_back(MtrmSweepPoint{configs[point], point_rng.next_u64()});
+    }
+    return executor->run_points(std::move(points));
+  }
   return parallel_for_trials(configs.size(), seed,
                              [&configs](std::size_t point, Rng& point_rng) {
                                return solve_mtrm<2>(configs[point], point_rng);

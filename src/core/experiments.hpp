@@ -29,6 +29,32 @@ struct ScaleParams {
 
 ScaleParams scale_for(Preset preset);
 
+/// One data point of an MTRM sweep after seed derivation: the experiment
+/// config plus the 64-bit root of its per-iteration substreams. The solved
+/// result is a pure function of this pair (iteration i draws from
+/// substream(trial_root, i)), which is what lets an executor decompose,
+/// cache and replay points without reference to the enclosing sweep.
+struct MtrmSweepPoint {
+  MtrmConfig config;
+  std::uint64_t trial_root = 0;
+};
+
+/// Strategy seam for executing a figure sweep's data points. The default
+/// (in-process) path lives in experiments::solve_mtrm_sweep; the campaign
+/// runner (src/campaign/campaign.hpp) implements this interface to add
+/// crash-safe persistence and resume on top of the identical per-point
+/// computation. Implementations must return results in point order,
+/// bit-identical to the in-process path.
+class MtrmSweepExecutor {
+ public:
+  MtrmSweepExecutor() = default;
+  MtrmSweepExecutor(const MtrmSweepExecutor&) = delete;
+  MtrmSweepExecutor& operator=(const MtrmSweepExecutor&) = delete;
+  virtual ~MtrmSweepExecutor() = default;
+
+  virtual std::vector<MtrmResult> run_points(std::vector<MtrmSweepPoint> points) = 0;
+};
+
 /// Experiment definitions mirroring the paper's Section 4 setups.
 namespace experiments {
 
@@ -37,8 +63,16 @@ namespace experiments {
 /// draws from the order-independent substream of (seed, i) and the results
 /// come back in config order, so a sweep is bit-identical at any thread
 /// count; the per-point iteration fan-out nests inside the same thread pool.
+///
+/// When `executor` is non-null the sweep is *registered* with it instead of
+/// being solved inline: the same (seed, i) substream roots are derived and
+/// handed over as MtrmSweepPoints, so e.g. a campaign-backed run returns
+/// bit-identical results to the legacy one-shot path (verified by
+/// tests/campaign_test.cpp). Null keeps the legacy path, which remains the
+/// default throughout the figure drivers.
 std::vector<MtrmResult> solve_mtrm_sweep(const std::vector<MtrmConfig>& configs,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         MtrmSweepExecutor* executor = nullptr);
 
 /// The system sizes of Figures 2-6: l in {256, 1K, 4K, 16K}.
 std::vector<double> figure_l_values();

@@ -4,6 +4,49 @@
 
 namespace manet {
 
+MtrmResult fold_mtrm_outcomes(const MtrmConfig& config,
+                              std::span<const MtrmIterationOutcome> outcomes) {
+  MtrmResult result;
+  result.time_fractions = config.time_fractions;
+  result.component_fractions = config.component_fractions;
+  result.range_for_time.resize(config.time_fractions.size());
+  result.range_for_component.resize(config.component_fractions.size());
+  result.lcc_at_range_for_time.resize(config.time_fractions.size());
+  result.min_lcc_at_range_for_time.resize(config.time_fractions.size());
+
+  for (const MtrmIterationOutcome& outcome : outcomes) {
+    for (std::size_t i = 0; i < config.time_fractions.size(); ++i) {
+      result.range_for_time[i].add(outcome.range_for_time[i]);
+      result.lcc_at_range_for_time[i].add(outcome.lcc_at_range_for_time[i]);
+      result.min_lcc_at_range_for_time[i].add(outcome.min_lcc_at_range_for_time[i]);
+    }
+    result.range_never_connected.add(outcome.range_never_connected);
+    result.lcc_at_range_never.add(outcome.lcc_at_range_never);
+    for (std::size_t j = 0; j < config.component_fractions.size(); ++j) {
+      result.range_for_component[j].add(outcome.range_for_component[j]);
+    }
+    result.mean_critical_range.add(outcome.mean_critical_range);
+  }
+  return result;
+}
+
+std::vector<double> flatten_mtrm_result(const MtrmResult& result) {
+  std::vector<double> values;
+  for (const RunningStats& stats : result.range_for_time) {
+    values.push_back(stats.mean());
+    values.push_back(stats.variance());
+  }
+  values.push_back(result.range_never_connected.mean());
+  values.push_back(result.lcc_at_range_never.mean());
+  for (const RunningStats& stats : result.range_for_component) values.push_back(stats.mean());
+  for (const RunningStats& stats : result.lcc_at_range_for_time) values.push_back(stats.mean());
+  for (const RunningStats& stats : result.min_lcc_at_range_for_time) {
+    values.push_back(stats.mean());
+  }
+  values.push_back(result.mean_critical_range.mean());
+  return values;
+}
+
 void MtrmConfig::validate() const {
   if (node_count < 2) throw ConfigError("MtrmConfig: node_count must be >= 2");
   if (!(side > 0.0)) throw ConfigError("MtrmConfig: side must be > 0");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "geometry/box.hpp"
@@ -76,6 +77,61 @@ struct MtrmIterationOutcome {
   double mean_critical_range = 0.0;
 };
 
+/// One MTRM iteration: runs a single mobile trace seeded by `iteration_rng`
+/// and extracts every requested quantity. The per-iteration unit of work of
+/// solve_mtrm, exposed so the campaign runner (src/campaign/) can execute
+/// exactly this code for a trial block and cache the outcomes — a replayed
+/// unit is bit-identical to a freshly computed one because both are this
+/// function of the same substream.
+template <int D>
+MtrmIterationOutcome run_mtrm_iteration(const MtrmConfig& config, Rng& iteration_rng) {
+  const Box<D> region(config.side);
+  const auto model = make_mobility_model<D>(config.mobility, region);
+  // Per-iteration workspace: the step loop reuses its grid/edge/curve
+  // buffers across all `steps` EMST solves, and because every iteration
+  // owns its workspace nothing is shared across worker threads.
+  TraceWorkspace<D> workspace;
+  const MobileConnectivityTrace trace = run_mobile_trace<D>(
+      config.node_count, region, config.steps, *model, iteration_rng, &workspace);
+
+  MtrmIterationOutcome outcome;
+  outcome.range_for_time.reserve(config.time_fractions.size());
+  outcome.lcc_at_range_for_time.reserve(config.time_fractions.size());
+  outcome.min_lcc_at_range_for_time.reserve(config.time_fractions.size());
+  for (double f : config.time_fractions) {
+    const double r_f = trace.range_for_time_fraction(f);
+    outcome.range_for_time.push_back(r_f);
+    outcome.lcc_at_range_for_time.push_back(trace.mean_largest_fraction_when_disconnected(r_f));
+    outcome.min_lcc_at_range_for_time.push_back(trace.min_largest_fraction_at(r_f));
+  }
+
+  const double r0 = trace.largest_never_connected_range();
+  outcome.range_never_connected = r0;
+  outcome.lcc_at_range_never = trace.mean_largest_fraction_when_disconnected(r0);
+
+  outcome.range_for_component.reserve(config.component_fractions.size());
+  for (double phi : config.component_fractions) {
+    outcome.range_for_component.push_back(trace.range_for_mean_component_fraction(phi));
+  }
+
+  outcome.mean_critical_range = trace.mean_critical_range();
+  return outcome;
+}
+
+/// Folds per-iteration outcomes into the aggregate result, strictly in the
+/// order given (= iteration-index order everywhere in this repo). The
+/// RunningStats updates are order-sensitive floating point, so any path that
+/// aggregates outcomes — solve_mtrm and the campaign runner's cached-unit
+/// merge alike — must fold through this one function to stay bit-identical.
+MtrmResult fold_mtrm_outcomes(const MtrmConfig& config,
+                              std::span<const MtrmIterationOutcome> outcomes);
+
+/// Flattens a result into the fixed vector layout digested by the golden
+/// checksums (tests/determinism_test.cpp) and the campaign result.json
+/// per-point checksum: means/variances of r_f, then r0 / lcc@r0, component
+/// ranges, lcc and min-lcc series, mean critical range.
+std::vector<double> flatten_mtrm_result(const MtrmResult& result);
+
 /// Solves MTRM by simulation: runs `iterations` independent mobile traces and
 /// extracts every requested range exactly from the per-step critical radii
 /// and component curves (DESIGN.md §2).
@@ -89,66 +145,13 @@ struct MtrmIterationOutcome {
 template <int D>
 MtrmResult solve_mtrm(const MtrmConfig& config, Rng& rng) {
   config.validate();
-  const Box<D> region(config.side);
   const std::uint64_t trial_root = rng.next_u64();
 
-  const auto run_iteration = [&config, &region](std::size_t, Rng& iteration_rng) {
-    const auto model = make_mobility_model<D>(config.mobility, region);
-    // Per-iteration workspace: the step loop reuses its grid/edge/curve
-    // buffers across all `steps` EMST solves, and because every iteration
-    // owns its workspace nothing is shared across worker threads.
-    TraceWorkspace<D> workspace;
-    const MobileConnectivityTrace trace = run_mobile_trace<D>(
-        config.node_count, region, config.steps, *model, iteration_rng, &workspace);
-
-    MtrmIterationOutcome outcome;
-    outcome.range_for_time.reserve(config.time_fractions.size());
-    outcome.lcc_at_range_for_time.reserve(config.time_fractions.size());
-    outcome.min_lcc_at_range_for_time.reserve(config.time_fractions.size());
-    for (double f : config.time_fractions) {
-      const double r_f = trace.range_for_time_fraction(f);
-      outcome.range_for_time.push_back(r_f);
-      outcome.lcc_at_range_for_time.push_back(trace.mean_largest_fraction_when_disconnected(r_f));
-      outcome.min_lcc_at_range_for_time.push_back(trace.min_largest_fraction_at(r_f));
-    }
-
-    const double r0 = trace.largest_never_connected_range();
-    outcome.range_never_connected = r0;
-    outcome.lcc_at_range_never = trace.mean_largest_fraction_when_disconnected(r0);
-
-    outcome.range_for_component.reserve(config.component_fractions.size());
-    for (double phi : config.component_fractions) {
-      outcome.range_for_component.push_back(trace.range_for_mean_component_fraction(phi));
-    }
-
-    outcome.mean_critical_range = trace.mean_critical_range();
-    return outcome;
-  };
-
-  const auto outcomes = parallel_for_trials(config.iterations, trial_root, run_iteration);
-
-  MtrmResult result;
-  result.time_fractions = config.time_fractions;
-  result.component_fractions = config.component_fractions;
-  result.range_for_time.resize(config.time_fractions.size());
-  result.range_for_component.resize(config.component_fractions.size());
-  result.lcc_at_range_for_time.resize(config.time_fractions.size());
-  result.min_lcc_at_range_for_time.resize(config.time_fractions.size());
-
-  for (const MtrmIterationOutcome& outcome : outcomes) {
-    for (std::size_t i = 0; i < config.time_fractions.size(); ++i) {
-      result.range_for_time[i].add(outcome.range_for_time[i]);
-      result.lcc_at_range_for_time[i].add(outcome.lcc_at_range_for_time[i]);
-      result.min_lcc_at_range_for_time[i].add(outcome.min_lcc_at_range_for_time[i]);
-    }
-    result.range_never_connected.add(outcome.range_never_connected);
-    result.lcc_at_range_never.add(outcome.lcc_at_range_never);
-    for (std::size_t j = 0; j < config.component_fractions.size(); ++j) {
-      result.range_for_component[j].add(outcome.range_for_component[j]);
-    }
-    result.mean_critical_range.add(outcome.mean_critical_range);
-  }
-  return result;
+  const auto outcomes = parallel_for_trials(
+      config.iterations, trial_root, [&config](std::size_t, Rng& iteration_rng) {
+        return run_mtrm_iteration<D>(config, iteration_rng);
+      });
+  return fold_mtrm_outcomes(config, outcomes);
 }
 
 }  // namespace manet

@@ -1,0 +1,58 @@
+#include "support/bench_json.hpp"
+
+#include <cstdio>
+
+namespace manet {
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), git_describe_(git_describe()) {}
+
+void BenchReport::add_param(std::string key, JsonValue value) {
+  params_.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchReport::add_sample(JsonValue sample) { samples_.push_back(std::move(sample)); }
+
+void BenchReport::add_extra(std::string key, JsonValue value) {
+  extra_.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchReport::set_git_describe(std::string describe) {
+  git_describe_ = std::move(describe);
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue::number(std::size_t{1}));
+  doc.set("name", JsonValue::string(name_));
+  doc.set("git_describe", JsonValue::string(git_describe_));
+  JsonValue params = JsonValue::object();
+  for (const auto& [key, value] : params_) params.set(key, value);
+  doc.set("params", std::move(params));
+  JsonValue samples = JsonValue::array();
+  for (const JsonValue& sample : samples_) samples.push_back(sample);
+  doc.set("samples", std::move(samples));
+  for (const auto& [key, value] : extra_) doc.set(key, value);
+  return doc;
+}
+
+std::string BenchReport::dump() const { return to_json().dump(2); }
+
+const std::string& git_describe() {
+  static const std::string kDescribe = [] {
+    std::string out;
+#if defined(__unix__) || defined(__APPLE__)
+    // Redirect stderr so a non-repo checkout doesn't spam the console.
+    if (std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+      char buffer[256];
+      while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+      ::pclose(pipe);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+#endif
+    return out.empty() ? std::string("unknown") : out;
+  }();
+  return kDescribe;
+}
+
+}  // namespace manet

@@ -1,0 +1,96 @@
+#include "support/fs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MANET_HAVE_FSYNC 1
+#endif
+
+namespace manet {
+
+namespace {
+
+/// Process-wide counter making concurrent temp names from different threads
+/// unique (the pid makes them unique across concurrent processes sharing a
+/// store directory).
+std::atomic<std::uint64_t> g_temp_counter{0};
+
+std::filesystem::path temp_sibling(const std::filesystem::path& path) {
+  std::ostringstream name;
+  name << path.filename().string() << ".tmp."
+#if MANET_HAVE_FSYNC
+       << ::getpid() << '.'
+#endif
+       << g_temp_counter.fetch_add(1, std::memory_order_relaxed);
+  return path.parent_path() / name.str();
+}
+
+}  // namespace
+
+std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ConfigError("cannot open file for reading: " + path.string());
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) {
+    throw ConfigError("read error on file: " + path.string());
+  }
+  return std::move(content).str();
+}
+
+void write_text_file_atomic(const std::filesystem::path& path, std::string_view content) {
+  const std::filesystem::path parent = path.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      throw ConfigError("cannot create directory " + parent.string() + ": " + ec.message());
+    }
+  }
+
+  const std::filesystem::path temp = temp_sibling(path);
+  {
+    // C stdio instead of ofstream so the buffer can be flushed and fsynced
+    // before the rename — rename-before-durable would reorder the crash
+    // states the atomicity argument relies on (DESIGN.md §11).
+    std::FILE* file = std::fopen(temp.c_str(), "wb");
+    if (file == nullptr) {
+      throw ConfigError("cannot open temp file for writing: " + temp.string());
+    }
+    const std::size_t written = content.empty()
+                                    ? 0
+                                    : std::fwrite(content.data(), 1, content.size(), file);
+    const bool flushed = std::fflush(file) == 0;
+#if MANET_HAVE_FSYNC
+    const bool synced = ::fsync(::fileno(file)) == 0;
+#else
+    const bool synced = true;
+#endif
+    const bool closed = std::fclose(file) == 0;
+    if (written != content.size() || !flushed || !synced || !closed) {
+      std::error_code ignored;
+      std::filesystem::remove(temp, ignored);
+      throw ConfigError("write error on temp file: " + temp.string());
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw ConfigError("cannot rename " + temp.string() + " -> " + path.string() + ": " +
+                      ec.message());
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace manet {
+
+/// Reads a whole file into a string. Throws ConfigError (with the path in
+/// the message) when the file does not exist or cannot be read.
+std::string read_text_file(const std::filesystem::path& path);
+
+/// Crash-safe whole-file write: creates the parent directories, writes the
+/// content to a unique sibling temp file, flushes it to stable storage
+/// (fsync where the platform provides it), and renames it over `path`.
+///
+/// The rename is atomic on POSIX filesystems, which gives the campaign
+/// store its durability contract: a reader (including a resumed campaign
+/// after a hard kill) observes either the complete previous file or the
+/// complete new file — never a torn write. A crash between write and rename
+/// leaves only a stray "<name>.tmp.*" sibling, which is ignored by readers
+/// and by git (.gitignore). Throws ConfigError on any I/O failure.
+void write_text_file_atomic(const std::filesystem::path& path, std::string_view content);
+
+}  // namespace manet

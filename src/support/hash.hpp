@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+/// FNV-1a 64-bit (Fowler–Noll–Vo). The repo's canonical content hash: the
+/// campaign result store keys units by the FNV-1a of their canonical config
+/// string (src/campaign/result_store.hpp), and the determinism layer pins
+/// golden digests of flattened result vectors. Not cryptographic — collision
+/// resistance is backed by storing the canonical string next to the payload
+/// and verifying it on load.
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t hash = kFnv1aOffset) noexcept {
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a over the raw IEEE-754 bit patterns of a double sequence: a one-ulp
+/// change in any value changes the digest. Matches the layout used by the
+/// golden checksums in tests/determinism_test.cpp (little-endian byte order
+/// of each 64-bit pattern).
+inline std::uint64_t fnv1a_bits(std::span<const double> values,
+                                std::uint64_t hash = kFnv1aOffset) noexcept {
+  for (const double value : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xffu;
+      hash *= kFnv1aPrime;
+    }
+  }
+  return hash;
+}
+
+/// Fixed-width lowercase hex rendering ("00ff00ff00ff00ff"), used for store
+/// file names and manifest keys.
+inline std::string hex_u64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int nibble = 15; nibble >= 0; --nibble) {
+    out[static_cast<std::size_t>(nibble)] = kDigits[value & 0xfu];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Inverse of hex_u64 (also accepts an optional "0x" prefix and uppercase).
+/// Throws ConfigError on anything that is not 1-16 hex digits.
+inline std::uint64_t parse_hex_u64(std::string_view text) {
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+  }
+  if (text.empty() || text.size() > 16) {
+    throw ConfigError("parse_hex_u64: expected 1-16 hex digits, got '" +
+                      std::string(text) + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw ConfigError("parse_hex_u64: invalid hex digit in '" + std::string(text) + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace manet

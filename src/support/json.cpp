@@ -1,0 +1,502 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+namespace {
+
+const char* type_name(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return "bool";
+    case JsonValue::Type::kNumber:
+      return "number";
+    case JsonValue::Type::kString:
+      return "string";
+    case JsonValue::Type::kArray:
+      return "array";
+    case JsonValue::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void throw_type_error(const char* expected, JsonValue::Type actual) {
+  throw ConfigError(std::string("JSON: expected ") + expected + ", got " +
+                    type_name(actual));
+}
+
+/// Canonical number rendering: integers within the binary64-exact window as
+/// plain integers, everything else with 17 significant digits (the binary64
+/// round-trip guarantee). One double -> one byte sequence.
+std::string render_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) <= 9007199254740992.0 /* 2^53 */) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; the simulation never produces them in persisted
+    // quantities. Refuse loudly rather than emit an unreadable document.
+    throw ConfigError("JSON: refusing to serialize a non-finite number");
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void render_string(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(byte));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream msg;
+    msg << "JSON parse error at byte " << pos_ << ": " << what;
+    throw ConfigError(msg.str());
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_whitespace() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Depth guard: campaign documents are a few levels deep; a corrupt file
+    // must not be able to overflow the stack through recursion.
+    if (depth_ > 64) fail("nesting deeper than 64 levels");
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    ++depth_;
+    JsonValue value = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      take();
+      --depth_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      value.set(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    ++depth_;
+    JsonValue value = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      take();
+      --depth_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      value.push_back(parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    --depth_;
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = take();
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          append_utf8(parse_hex4(), out);
+          break;
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  /// BMP code points only; surrogate pairs never occur in this repo's
+  /// documents (ASCII identifiers and numbers) and are rejected.
+  void append_utf8(std::uint32_t code, std::string& out) {
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0u | (code >> 6));
+      out += static_cast<char>(0x80u | (code & 0x3Fu));
+    } else {
+      out += static_cast<char>(0xE0u | (code >> 12));
+      out += static_cast<char>(0x80u | ((code >> 6) & 0x3Fu));
+      out += static_cast<char>(0x80u | (code & 0x3Fu));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_value(const JsonValue& value, int indent, int level, std::string& out) {
+  const auto newline_pad = [&out, indent](int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  };
+
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber:
+      out += render_number(value.as_double());
+      return;
+    case JsonValue::Type::kString:
+      render_string(value.as_string(), out);
+      return;
+    case JsonValue::Type::kArray: {
+      const JsonValue::Array& items = value.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(level + 1);
+        dump_value(items[i], indent, level + 1, out);
+      }
+      newline_pad(level);
+      out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      const JsonValue::Object& members = value.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(level + 1);
+        render_string(members[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        dump_value(members[i].second, indent, level + 1, out);
+      }
+      newline_pad(level);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(std::size_t value) {
+  return number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw_type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::kNumber) throw_type_error("number", type_);
+  return number_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const double value = as_double();
+  if (!(value >= 0.0) || value != std::floor(value) || value > 9007199254740992.0) {
+    throw ConfigError("JSON: expected a non-negative integer <= 2^53");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw_type_error("string", type_);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::items() const {
+  if (type_ != Type::kArray) throw_type_error("array", type_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::members() const {
+  if (type_ != Type::kObject) throw_type_error("object", type_);
+  return object_;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (type_ != Type::kArray) throw_type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (type_ != Type::kObject) throw_type_error("object", type_);
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) throw_type_error("object", type_);
+  for (const auto& [name, member] : object_) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* member = find(key);
+  if (member == nullptr) {
+    throw ConfigError("JSON: missing required key '" + std::string(key) + "'");
+  }
+  return *member;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace manet {
+
+/// Minimal JSON document model for the repo's machine-readable artifacts:
+/// campaign manifests, content-addressed unit files (src/campaign/) and the
+/// unified bench schema (support/bench_json.hpp).
+///
+/// Design constraints, in order:
+///  * **Deterministic output**: dump() renders a given document to exactly
+///    one byte sequence — objects keep insertion order (stored as a vector
+///    of pairs, not a map), numbers have one canonical rendering. Equal
+///    campaign results therefore produce byte-identical files, which is what
+///    lets the interrupt/resume smoke test `cmp` two result.json files.
+///  * **Bit-exact doubles**: non-integral numbers are rendered with 17
+///    significant digits, the round-trip guarantee for IEEE-754 binary64, so
+///    a cached unit replayed from disk is bit-identical to the freshly
+///    computed one. 64-bit seeds/keys exceed the 2^53 exact-integer window
+///    and are stored as hex strings instead (support/hash.hpp).
+///  * **Clear failures**: parse() and the typed accessors throw ConfigError
+///    with a byte offset / expectation message, so a corrupt manifest is a
+///    diagnosable user error, never UB or a crash.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered members (keys are not deduplicated by the type; the
+  /// writers in this repo never emit duplicates and find() returns the
+  /// first).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  /// Null by default.
+  JsonValue() noexcept = default;
+
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value);
+  /// Exact only within |v| <= 2^53; larger ids belong in hex strings.
+  static JsonValue number(std::size_t value);
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+
+  /// Typed accessors; throw ConfigError naming the expected/actual type.
+  bool as_bool() const;
+  double as_double() const;
+  /// Requires an exactly-integral, non-negative number within 2^53.
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Array append; requires an array.
+  void push_back(JsonValue value);
+  /// Object append; requires an object. Does not overwrite existing keys.
+  void set(std::string key, JsonValue value);
+
+  /// First member named `key`, or nullptr. Requires an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Like find() but throws ConfigError when the key is missing.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws ConfigError with the byte offset of the problem.
+  static JsonValue parse(std::string_view text);
+
+  /// Renders the document. `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits the compact single-line form. Deterministic (see
+  /// class comment).
+  std::string dump(int indent = 0) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace manet

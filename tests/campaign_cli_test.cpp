@@ -1,0 +1,144 @@
+// Tests of the campaign CLI flag family (campaign/cli.hpp) and of manifest
+// parsing/validation: every malformed input must come back as a clear
+// ConfigError, never a crash or a silently-wrong option set.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/cli.hpp"
+#include "campaign/manifest.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+using campaign::CampaignOptions;
+
+CliParser parsed(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  CliParser cli("test");
+  campaign::add_campaign_cli_options(cli);
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  return cli;
+}
+
+TEST(CampaignCli, DefaultsDoNotRequestCampaignMode) {
+  const CliParser cli = parsed({});
+  EXPECT_FALSE(campaign::campaign_requested(cli));
+}
+
+TEST(CampaignCli, CampaignResumeKillAfterAndDirEachRequestCampaignMode) {
+  EXPECT_TRUE(campaign::campaign_requested(parsed({"--campaign"})));
+  EXPECT_TRUE(campaign::campaign_requested(parsed({"--resume"})));
+  EXPECT_TRUE(campaign::campaign_requested(parsed({"--kill-after", "3"})));
+  EXPECT_TRUE(campaign::campaign_requested(parsed({"--campaign-dir", "/tmp/c"})));
+}
+
+TEST(CampaignCli, DefaultDirDerivesFromCampaignName) {
+  const CliParser cli = parsed({"--campaign"});
+  const CampaignOptions options = campaign::campaign_options_from_cli(cli, "fig7");
+  EXPECT_EQ(options.dir, "results/campaigns/fig7");
+  EXPECT_EQ(options.store_dir, "results/store");
+  EXPECT_FALSE(options.resume);
+  EXPECT_EQ(options.kill_after, 0u);
+  EXPECT_EQ(options.unit_iterations, 0u);
+  EXPECT_EQ(options.checkpoint_every, 8u);
+  EXPECT_FALSE(options.quiet);
+}
+
+TEST(CampaignCli, AllFlagsMapThrough) {
+  const CliParser cli = parsed({"--resume", "--campaign-dir", "/tmp/cdir", "--store-dir",
+                                "/tmp/sdir", "--kill-after", "5", "--unit-iterations", "2",
+                                "--checkpoint-every", "3", "--campaign-quiet"});
+  const CampaignOptions options = campaign::campaign_options_from_cli(cli, "fig7");
+  EXPECT_EQ(options.dir, "/tmp/cdir");
+  EXPECT_EQ(options.store_dir, "/tmp/sdir");
+  EXPECT_TRUE(options.resume);
+  EXPECT_EQ(options.kill_after, 5u);
+  EXPECT_EQ(options.unit_iterations, 2u);
+  EXPECT_EQ(options.checkpoint_every, 3u);
+  EXPECT_TRUE(options.quiet);
+}
+
+TEST(CampaignCli, RejectsInconsistentValues) {
+  EXPECT_THROW(
+      campaign::campaign_options_from_cli(parsed({"--checkpoint-every", "0"}), "fig7"),
+      ConfigError);
+  EXPECT_THROW(campaign::campaign_options_from_cli(parsed({"--store-dir", ""}), "fig7"),
+               ConfigError);
+  EXPECT_THROW(campaign::campaign_options_from_cli(parsed({"--campaign"}), ""), ConfigError);
+  EXPECT_THROW(parsed({"--kill-after", "many"}).uint_value("kill-after"), ConfigError);
+}
+
+TEST(CampaignManifest, DumpParseRoundTrip) {
+  campaign::Manifest manifest;
+  manifest.campaign = "fig7_pstationary";
+  manifest.campaign_key = 0xdeadbeefcafef00dull;
+  manifest.points = 2;
+  manifest.units = {{0, 0, 4, 0x1111111111111111ull}, {1, 4, 8, 0x2222222222222222ull}};
+  manifest.progress.units_done = 1;
+  manifest.progress.cache_hits = 1;
+  manifest.progress.executed = 0;
+  manifest.progress.invalid_store_entries = 0;
+  manifest.progress.unit_seconds_total = 0.25;
+  manifest.progress.complete = false;
+
+  const campaign::Manifest reparsed = campaign::Manifest::parse(manifest.dump(), "test");
+  EXPECT_EQ(reparsed.campaign, manifest.campaign);
+  EXPECT_EQ(reparsed.campaign_key, manifest.campaign_key);
+  EXPECT_EQ(reparsed.points, manifest.points);
+  ASSERT_EQ(reparsed.units.size(), manifest.units.size());
+  for (std::size_t i = 0; i < manifest.units.size(); ++i) {
+    EXPECT_EQ(reparsed.units[i].point, manifest.units[i].point);
+    EXPECT_EQ(reparsed.units[i].begin, manifest.units[i].begin);
+    EXPECT_EQ(reparsed.units[i].end, manifest.units[i].end);
+    EXPECT_EQ(reparsed.units[i].key, manifest.units[i].key);
+  }
+  EXPECT_EQ(reparsed.progress.units_done, manifest.progress.units_done);
+  EXPECT_EQ(reparsed.progress.unit_seconds_total, manifest.progress.unit_seconds_total);
+  EXPECT_EQ(reparsed.progress.complete, manifest.progress.complete);
+
+  // Deterministic rendering: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(reparsed.dump(), manifest.dump());
+}
+
+TEST(CampaignManifest, ParseRejectsMalformedDocumentsWithOriginInMessage) {
+  const char* broken[] = {
+      "",                                     // empty
+      "garbage",                              // not JSON
+      "{\"kind\": \"wrong-kind\"}",           // wrong kind
+      "[1, 2, 3]",                            // wrong shape
+      "{\"schema_version\": 1, \"kind\"",     // truncated
+  };
+  for (const char* text : broken) {
+    try {
+      campaign::Manifest::parse(text, "origin.json");
+      FAIL() << "expected ConfigError for: " << text;
+    } catch (const ConfigError& error) {
+      EXPECT_NE(std::string(error.what()).find("origin.json"), std::string::npos) << text;
+    }
+  }
+}
+
+TEST(CampaignManifest, ParseRejectsUnsupportedSchemaVersionAndEmptyUnits) {
+  campaign::Manifest manifest;
+  manifest.campaign = "x";
+  manifest.campaign_key = 1;
+  manifest.points = 1;
+  manifest.units = {{0, 0, 4, 2}};
+
+  std::string future = manifest.dump();
+  const std::string needle = "\"schema_version\": 1";
+  future.replace(future.find(needle), needle.size(), "\"schema_version\": 999");
+  EXPECT_THROW(campaign::Manifest::parse(future, "test"), ConfigError);
+
+  std::string empty_block = manifest.dump();
+  const std::string begin_needle = "\"begin\": 0";
+  empty_block.replace(empty_block.find(begin_needle), begin_needle.size(), "\"begin\": 4");
+  EXPECT_THROW(campaign::Manifest::parse(empty_block, "test"), ConfigError);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,372 @@
+// End-to-end tests of the campaign subsystem (src/campaign/): the resumable
+// runner must be a drop-in for the in-process sweep — bit-identical results
+// whether a campaign runs uninterrupted, is killed and resumed, or is served
+// entirely from the content-addressed store — and every failure mode of the
+// persisted state (missing / foreign / malformed manifest, corrupt store
+// entries) must surface as a clear ConfigError or a silent recompute, never
+// a crash or a silently different number.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace manet {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignRunner;
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::vector<double> flatten_all(const std::vector<MtrmResult>& results) {
+  std::vector<double> values;
+  for (const MtrmResult& result : results) {
+    const auto flat = flatten_mtrm_result(result);
+    values.insert(values.end(), flat.begin(), flat.end());
+  }
+  return values;
+}
+
+/// Fresh scratch directories per test, wiped on entry so reruns start clean.
+struct CampaignDirs {
+  explicit CampaignDirs(const std::string& tag)
+      : root(std::filesystem::path(::testing::TempDir()) / ("campaign_test_" + tag)) {
+    std::filesystem::remove_all(root);
+    campaign_dir = (root / "campaign").string();
+    store_dir = (root / "store").string();
+  }
+  ~CampaignDirs() { std::filesystem::remove_all(root); }
+
+  CampaignOptions options() const {
+    CampaignOptions opts;
+    opts.dir = campaign_dir;
+    opts.store_dir = store_dir;
+    opts.quiet = true;
+    return opts;
+  }
+
+  std::filesystem::path root;
+  std::string campaign_dir;
+  std::string store_dir;
+};
+
+/// Small two-point sweep (waypoint + drunkard at the quick preset's l=256
+/// scale) — big enough to decompose into several units, small enough to run
+/// many times per test binary.
+std::vector<MtrmConfig> tiny_sweep() {
+  return {experiments::waypoint_experiment(256.0, Preset::kQuick),
+          experiments::drunkard_experiment(256.0, Preset::kQuick)};
+}
+
+constexpr std::uint64_t kSeed = 20020623;
+
+/// Restores the default kill behavior / thread count on scope exit even if
+/// an assertion fails mid-test.
+struct KillHookGuard {
+  ~KillHookGuard() { campaign::detail::set_kill_hook({}); }
+};
+struct ParallelismGuard {
+  ~ParallelismGuard() { set_max_parallelism(0); }
+};
+
+/// The exception our test kill hook throws in place of std::_Exit.
+struct KillSignal {};
+
+TEST(Campaign, MatchesLegacySweepBitwise) {
+  const auto configs = tiny_sweep();
+  const auto legacy = experiments::solve_mtrm_sweep(configs, kSeed);
+
+  CampaignDirs dirs("legacy_match");
+  CampaignRunner runner("tiny", dirs.options());
+  const auto campaign_results = experiments::solve_mtrm_sweep(configs, kSeed, &runner);
+
+  EXPECT_TRUE(bit_identical(flatten_all(legacy), flatten_all(campaign_results)));
+  EXPECT_EQ(runner.report().cache_hits, 0u);
+  EXPECT_EQ(runner.report().executed, runner.report().units_total);
+}
+
+TEST(Campaign, SecondRunIsServedEntirelyFromStore) {
+  const auto configs = tiny_sweep();
+  CampaignDirs dirs("all_cached");
+
+  CampaignRunner first("tiny", dirs.options());
+  const auto first_results = experiments::solve_mtrm_sweep(configs, kSeed, &first);
+
+  CampaignOptions resume_options = dirs.options();
+  resume_options.resume = true;
+  CampaignRunner second("tiny", resume_options);
+  const auto second_results = experiments::solve_mtrm_sweep(configs, kSeed, &second);
+
+  EXPECT_TRUE(bit_identical(flatten_all(first_results), flatten_all(second_results)));
+  EXPECT_EQ(second.report().cache_hits, second.report().units_total);
+  EXPECT_EQ(second.report().executed, 0u);
+
+  const campaign::Manifest manifest =
+      campaign::load_manifest(std::filesystem::path(dirs.campaign_dir) / "manifest.json");
+  EXPECT_TRUE(manifest.progress.complete);
+  EXPECT_EQ(manifest.progress.cache_hits, second.report().units_total);
+}
+
+TEST(Campaign, KilledAndResumedRunIsBitIdenticalToUninterrupted) {
+  const auto configs = tiny_sweep();
+
+  CampaignDirs reference_dirs("kill_reference");
+  CampaignRunner reference("tiny", reference_dirs.options());
+  const auto expected = experiments::solve_mtrm_sweep(configs, kSeed, &reference);
+  const std::size_t units_total = reference.report().units_total;
+  ASSERT_GE(units_total, 4u);
+
+  // Serial execution makes the kill point exact: precisely kill_after units
+  // were persisted when the hook fires.
+  const ParallelismGuard parallelism_guard;
+  set_max_parallelism(1);
+  const KillHookGuard hook_guard;
+  campaign::detail::set_kill_hook([] { throw KillSignal{}; });
+
+  CampaignDirs dirs("kill_resume");
+  const std::size_t kill_after = units_total / 2;
+  CampaignOptions kill_options = dirs.options();
+  kill_options.kill_after = kill_after;
+  kill_options.checkpoint_every = 1;
+  CampaignRunner killed("tiny", kill_options);
+  EXPECT_THROW(experiments::solve_mtrm_sweep(configs, kSeed, &killed), KillSignal);
+
+  campaign::detail::set_kill_hook({});
+  CampaignOptions resume_options = dirs.options();
+  resume_options.resume = true;
+  CampaignRunner resumed("tiny", resume_options);
+  const auto results = experiments::solve_mtrm_sweep(configs, kSeed, &resumed);
+
+  EXPECT_TRUE(bit_identical(flatten_all(expected), flatten_all(results)));
+  EXPECT_EQ(resumed.report().cache_hits, kill_after);
+  EXPECT_EQ(resumed.report().executed, units_total - kill_after);
+}
+
+TEST(Campaign, KilledAndResumedRunIsBitIdenticalAtEightThreads) {
+  const auto configs = tiny_sweep();
+
+  CampaignDirs reference_dirs("kill8_reference");
+  CampaignRunner reference("tiny", reference_dirs.options());
+  const auto expected = experiments::solve_mtrm_sweep(configs, kSeed, &reference);
+  const std::size_t units_total = reference.report().units_total;
+
+  const ParallelismGuard parallelism_guard;
+  set_max_parallelism(8);
+  const KillHookGuard hook_guard;
+  campaign::detail::set_kill_hook([] { throw KillSignal{}; });
+
+  CampaignDirs dirs("kill8_resume");
+  const std::size_t kill_after = units_total / 2;
+  CampaignOptions kill_options = dirs.options();
+  kill_options.kill_after = kill_after;
+  CampaignRunner killed("tiny", kill_options);
+  EXPECT_THROW(experiments::solve_mtrm_sweep(configs, kSeed, &killed), KillSignal);
+
+  campaign::detail::set_kill_hook({});
+  CampaignOptions resume_options = dirs.options();
+  resume_options.resume = true;
+  CampaignRunner resumed("tiny", resume_options);
+  const auto results = experiments::solve_mtrm_sweep(configs, kSeed, &resumed);
+
+  EXPECT_TRUE(bit_identical(flatten_all(expected), flatten_all(results)));
+  // With in-flight workers draining after the kill fires, anywhere from
+  // kill_after to all units may have been persisted — but never fewer.
+  EXPECT_GE(resumed.report().cache_hits, kill_after);
+  EXPECT_EQ(resumed.report().cache_hits + resumed.report().executed, units_total);
+}
+
+// The PR-2 golden MTRM digests (tests/determinism_test.cpp) reproduced
+// through the campaign path: same config, the trial root solve_mtrm would
+// draw from Rng(seed), folded from store-backed units.
+TEST(Campaign, GoldenChecksumsReproduceThroughCampaignPath) {
+  const struct {
+    const char* name;
+    MtrmConfig config;
+    std::uint64_t digest;
+  } cases[] = {
+      {"waypoint", experiments::waypoint_experiment(256.0, Preset::kQuick),
+       0x7f15b5b64209b3a3ull},
+      {"drunkard", experiments::drunkard_experiment(256.0, Preset::kQuick),
+       0xca0fd93f2a6598c4ull},
+  };
+  for (const auto& test_case : cases) {
+    CampaignDirs dirs(std::string("golden_") + test_case.name);
+    CampaignRunner runner(test_case.name, dirs.options());
+    MtrmSweepPoint point;
+    point.config = test_case.config;
+    point.trial_root = Rng(kSeed).next_u64();
+    const auto results = runner.run_points({point});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(fnv1a_bits(flatten_mtrm_result(results[0])), test_case.digest)
+        << test_case.name;
+  }
+}
+
+TEST(Campaign, ResumeWithoutManifestIsConfigError) {
+  CampaignDirs dirs("resume_missing");
+  CampaignOptions options = dirs.options();
+  options.resume = true;
+  CampaignRunner runner("tiny", options);
+  EXPECT_THROW(experiments::solve_mtrm_sweep(tiny_sweep(), kSeed, &runner), ConfigError);
+}
+
+TEST(Campaign, ResumeOfDifferentCampaignIsConfigError) {
+  const auto configs = tiny_sweep();
+  CampaignDirs dirs("resume_foreign");
+
+  CampaignRunner first("tiny", dirs.options());
+  experiments::solve_mtrm_sweep(configs, kSeed, &first);
+
+  // Same directory, different sweep identity (other seed -> other trial
+  // roots): the manifest key cannot match.
+  CampaignOptions resume_options = dirs.options();
+  resume_options.resume = true;
+  CampaignRunner second("tiny", resume_options);
+  EXPECT_THROW(experiments::solve_mtrm_sweep(configs, kSeed + 1, &second), ConfigError);
+}
+
+TEST(Campaign, MalformedManifestIsConfigError) {
+  const auto configs = tiny_sweep();
+  CampaignDirs dirs("resume_malformed");
+
+  CampaignRunner first("tiny", dirs.options());
+  experiments::solve_mtrm_sweep(configs, kSeed, &first);
+
+  const auto manifest_path = std::filesystem::path(dirs.campaign_dir) / "manifest.json";
+  for (const char* corrupted : {"", "not json at all", "{\"kind\": \"something-else\"}",
+                                "{\"schema_version\": 1, \"kind\""}) {
+    std::ofstream(manifest_path, std::ios::trunc) << corrupted;
+    CampaignOptions resume_options = dirs.options();
+    resume_options.resume = true;
+    CampaignRunner runner("tiny", resume_options);
+    try {
+      experiments::solve_mtrm_sweep(configs, kSeed, &runner);
+      FAIL() << "expected ConfigError for manifest: " << corrupted;
+    } catch (const ConfigError& error) {
+      // The error must name the file so the user can act on it.
+      EXPECT_NE(std::string(error.what()).find("manifest.json"), std::string::npos);
+    }
+  }
+}
+
+TEST(Campaign, CorruptStoreEntryIsRecomputedAndCounted) {
+  const auto configs = tiny_sweep();
+  CampaignDirs dirs("corrupt_store");
+
+  CampaignRunner first("tiny", dirs.options());
+  const auto expected = experiments::solve_mtrm_sweep(configs, kSeed, &first);
+
+  // Truncate one unit file: content-address probing must treat it as a miss,
+  // count it, and recompute — not crash, not serve garbage.
+  bool corrupted_one = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dirs.store_dir)) {
+    std::ofstream(entry.path(), std::ios::trunc) << "{\"schema_version\": 1, tru";
+    corrupted_one = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted_one);
+
+  CampaignOptions resume_options = dirs.options();
+  resume_options.resume = true;
+  CampaignRunner second("tiny", resume_options);
+  const auto results = experiments::solve_mtrm_sweep(configs, kSeed, &second);
+
+  EXPECT_TRUE(bit_identical(flatten_all(expected), flatten_all(results)));
+  EXPECT_EQ(second.report().invalid_store_entries, 1u);
+  EXPECT_EQ(second.report().executed, 1u);
+  EXPECT_EQ(second.report().cache_hits, second.report().units_total - 1);
+}
+
+TEST(Campaign, StoreRoundTripIsBitExact) {
+  CampaignDirs dirs("store_roundtrip");
+  const campaign::ResultStore store{std::filesystem::path(dirs.store_dir)};
+
+  // Values chosen to stress the %.17g round-trip: non-terminating binary
+  // fractions, an exactly-representable integer, a subnormal, and a
+  // one-ulp-off-from-1.0 value.
+  MtrmIterationOutcome outcome;
+  outcome.range_for_time = {1.0 / 3.0, 0.1, 123456789.0};
+  outcome.lcc_at_range_for_time = {std::nextafter(1.0, 0.0)};
+  outcome.min_lcc_at_range_for_time = {5e-324};
+  outcome.range_never_connected = 2.0 / 7.0;
+  outcome.lcc_at_range_never = 0.999999999999999;
+  outcome.range_for_component = {1e300, 1e-300};
+  outcome.mean_critical_range = 42.424242424242424;
+
+  const std::string canonical = "campaign-test-roundtrip-unit";
+  store.save(canonical, std::vector<MtrmIterationOutcome>{outcome});
+  bool corrupt = false;
+  const auto loaded = store.load(canonical, 1, &corrupt);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(corrupt);
+
+  const auto bits = [](const MtrmIterationOutcome& o) {
+    std::vector<double> values;
+    values.insert(values.end(), o.range_for_time.begin(), o.range_for_time.end());
+    values.insert(values.end(), o.lcc_at_range_for_time.begin(),
+                  o.lcc_at_range_for_time.end());
+    values.insert(values.end(), o.min_lcc_at_range_for_time.begin(),
+                  o.min_lcc_at_range_for_time.end());
+    values.push_back(o.range_never_connected);
+    values.push_back(o.lcc_at_range_never);
+    values.insert(values.end(), o.range_for_component.begin(), o.range_for_component.end());
+    values.push_back(o.mean_critical_range);
+    return values;
+  };
+  EXPECT_TRUE(bit_identical(bits(outcome), bits((*loaded)[0])));
+}
+
+TEST(Campaign, RejectsInconsistentOptions) {
+  CampaignOptions no_dir;
+  no_dir.dir = "";
+  EXPECT_THROW(CampaignRunner("tiny", no_dir), ConfigError);
+
+  CampaignDirs dirs("bad_options");
+  CampaignOptions zero_checkpoint = dirs.options();
+  zero_checkpoint.checkpoint_every = 0;
+  EXPECT_THROW(CampaignRunner("tiny", zero_checkpoint), ConfigError);
+
+  EXPECT_THROW(CampaignRunner("", dirs.options()), ConfigError);
+}
+
+TEST(Campaign, UnitDecompositionIsStableUnderExplicitBlockSize) {
+  const auto configs = tiny_sweep();
+
+  CampaignDirs dirs_a("block_a");
+  CampaignOptions options_a = dirs_a.options();
+  options_a.unit_iterations = 1;
+  CampaignRunner runner_a("tiny", options_a);
+  const auto results_a = experiments::solve_mtrm_sweep(configs, kSeed, &runner_a);
+
+  CampaignDirs dirs_b("block_b");
+  CampaignOptions options_b = dirs_b.options();
+  options_b.unit_iterations = 3;  // deliberately not dividing the budget
+  CampaignRunner runner_b("tiny", options_b);
+  const auto results_b = experiments::solve_mtrm_sweep(configs, kSeed, &runner_b);
+
+  // Different decompositions, identical merged numbers: unit boundaries are
+  // an execution detail, never a numerical one.
+  EXPECT_NE(runner_a.report().units_total, runner_b.report().units_total);
+  EXPECT_TRUE(bit_identical(flatten_all(results_a), flatten_all(results_b)));
+}
+
+}  // namespace
+}  // namespace manet
