@@ -1,6 +1,8 @@
 #include "common/figure_bench.hpp"
 
 #include "campaign/cli.hpp"
+#include "support/bench_json.hpp"
+#include "support/metrics.hpp"
 
 namespace manet::bench {
 
@@ -29,6 +31,8 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
                  "hardware default, 1 = serial; results are identical)",
                  "0");
   cli.add_flag("csv", "emit CSV instead of an aligned table");
+  cli.add_flag("metrics",
+               "append the run-metrics JSON (counters/timings) after the table");
   if (with_campaign) campaign::add_campaign_cli_options(cli);
 
   try {
@@ -46,6 +50,7 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
   options.preset = parse_preset(cli.string_value("preset"));
   options.seed = cli.uint_value("seed");
   options.csv = cli.flag("csv");
+  options.metrics = cli.flag("metrics");
   options.rs_quantile = cli.double_value("rs-quantile");
   if (!(options.rs_quantile > 0.0 && options.rs_quantile <= 1.0)) {
     std::cerr << "--rs-quantile must be in (0, 1]\n";
@@ -84,10 +89,26 @@ void apply_scale(MtrmConfig& config, const FigureOptions& options) {
   config.steps = scale.steps;
 }
 
+namespace {
+
+/// --metrics epilogue: one BenchReport-schema JSON document with the run's
+/// counters and timings. Emitted after the table (never instead of it) so
+/// existing output consumers are unaffected unless they opt in.
+void print_metrics_epilogue(const FigureOptions& options) {
+  BenchReport report("run_metrics");
+  report.add_param("preset", JsonValue::string(preset_name(options.preset)));
+  report.add_param("seed", JsonValue::number(static_cast<std::size_t>(options.seed)));
+  report.add_extra("metrics", metrics::collect_json());
+  std::cout << '\n' << report.dump() << '\n';
+}
+
+}  // namespace
+
 void print_result(const TextTable& table, const FigureOptions& options,
                   const std::string& title, const std::string& footnote) {
   if (options.csv) {
     table.print_csv(std::cout);
+    if (options.metrics) print_metrics_epilogue(options);
     return;
   }
   const ScaleParams scale = options.scale();
@@ -103,6 +124,7 @@ void print_result(const TextTable& table, const FigureOptions& options,
   } else {
     std::cout << '\n' << footnote << '\n';
   }
+  if (options.metrics) print_metrics_epilogue(options);
 }
 
 std::string l_label(double l) {

@@ -32,6 +32,10 @@ struct FigureOptions {
   /// 0 keeps the MANET_THREADS / hardware default, 1 forces the serial
   /// path. Results are bit-identical at any setting.
   std::size_t threads = 0;
+  /// --metrics: append the run-metrics JSON (support/metrics.hpp, BenchReport
+  /// schema) to stdout after the table. Opt-in so the default output stays
+  /// exactly the table the smoke scripts compare.
+  bool metrics = false;
   /// Campaign mode (--campaign flag family, campaign/cli.hpp): route the
   /// sweep through the crash-safe resumable runner. Only figures parsed with
   /// with_campaign=true register the flags.

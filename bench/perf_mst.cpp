@@ -25,6 +25,7 @@
 #include "sim/deployment.hpp"
 #include "support/bench_json.hpp"
 #include "support/hash.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "topology/emst_grid.hpp"
 #include "topology/mst.hpp"
@@ -81,18 +82,21 @@ bool bitwise_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(doubl
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool with_metrics = false;
   std::uint64_t seed = 1;
   int sets = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--metrics") {
+      with_metrics = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
     } else if (arg == "--sets" && i + 1 < argc) {
       sets = std::stoi(argv[++i]);
     } else {
-      std::printf("usage: %s [--quick] [--seed S] [--sets K]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--metrics] [--seed S] [--sets K]\n", argv[0]);
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -176,6 +180,8 @@ int main(int argc, char** argv) {
   }
 
   report.add_extra("bottlenecks_bit_identical", JsonValue::boolean(identical));
+  report.add_param("manet_metrics", JsonValue::boolean(metrics::compiled_in()));
+  if (with_metrics) report.add_extra("metrics", metrics::collect_json());
   std::printf("%s\n", report.dump().c_str());
 
   if (!identical) {

@@ -20,6 +20,7 @@
 #include "core/mtrm.hpp"
 #include "support/bench_json.hpp"
 #include "support/hash.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
@@ -42,18 +43,21 @@ int main(int argc, char** argv) {
   using namespace manet;
 
   bool quick = false;
+  bool with_metrics = false;
   std::uint64_t seed = 1;
   int repeats = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--metrics") {
+      with_metrics = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
     } else if (arg == "--repeats" && i + 1 < argc) {
       repeats = std::stoi(argv[++i]);
     } else {
-      std::printf("usage: %s [--quick] [--seed S] [--repeats K]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--metrics] [--seed S] [--repeats K]\n", argv[0]);
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -105,7 +109,9 @@ int main(int argc, char** argv) {
     report.add_sample(std::move(sample));
   }
   set_max_parallelism(0);
+  report.add_param("manet_metrics", JsonValue::boolean(metrics::compiled_in()));
   report.add_extra("bit_identical_across_thread_counts", JsonValue::boolean(deterministic));
+  if (with_metrics) report.add_extra("metrics", metrics::collect_json());
   std::printf("%s\n", report.dump().c_str());
 
   if (!deterministic) {

@@ -46,6 +46,26 @@ if [[ "${cache_hits}" -lt 30 ]]; then
   exit 1
 fi
 
+# The resumed run's metrics.json (the deterministic run-metrics layer) must
+# agree with the manifest: campaign.units_cached == the units completed before
+# the kill. Skipped on MANET_METRICS=0 builds, where the counters report
+# "enabled": false and every value is 0.
+if [[ ! -f "${kill_dir}/metrics.json" ]]; then
+  echo "FAIL: resume did not write ${kill_dir}/metrics.json" >&2
+  exit 1
+fi
+if grep -q '"enabled": true' "${kill_dir}/metrics.json"; then
+  units_cached="$(grep -o '"campaign.units_cached": [0-9]*' "${kill_dir}/metrics.json" \
+    | grep -o '[0-9]*$')"
+  if [[ "${units_cached:-missing}" != "${cache_hits}" ]]; then
+    echo "FAIL: metrics campaign.units_cached=${units_cached:-missing}" \
+      "!= manifest cache_hits=${cache_hits}" >&2
+    exit 1
+  fi
+else
+  echo "campaign smoke: metrics disabled in this build, skipping units_cached check" >&2
+fi
+
 # 3. Uninterrupted reference run with its own campaign dir and store.
 "${bin}" "${common_flags[@]}" --campaign-dir "${ref_dir}" --store-dir "${ref_store}" \
   > "${work}/reference.out" 2> "${work}/reference.err"

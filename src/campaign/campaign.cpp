@@ -16,6 +16,7 @@
 #include "support/error.hpp"
 #include "support/fs.hpp"
 #include "support/hash.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace manet::campaign {
@@ -54,6 +55,24 @@ struct UnitWork {
   std::string canonical;
   std::uint64_t key = 0;
 };
+
+/// Campaign accounting, exported to <campaign-dir>/metrics.json. Replaces the
+/// old per-unit stderr telemetry as the machine-readable progress record; the
+/// counters are process totals across every run_points call.
+struct CampaignMetrics {
+  metrics::Counter units_planned = metrics::counter("campaign.units_planned");
+  metrics::Counter units_cached = metrics::counter("campaign.units_cached");
+  metrics::Counter units_computed = metrics::counter("campaign.units_computed");
+  metrics::Counter units_recomputed_after_corruption =
+      metrics::counter("campaign.units_recomputed_after_corruption");
+  metrics::Counter checkpoint_flushes = metrics::counter("campaign.checkpoint_flushes");
+  metrics::Timer unit_seconds = metrics::timer("campaign.unit_seconds");
+};
+
+CampaignMetrics& campaign_metrics() {
+  static CampaignMetrics bundle;
+  return bundle;
+}
 
 }  // namespace
 
@@ -103,6 +122,7 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
     }
   }
   report_.units_total = units.size();
+  campaign_metrics().units_planned.add(units.size());
 
   // Campaign identity: the name plus every unit's canonical string. Two
   // invocations with equal sweeps agree on this key; anything else (other
@@ -156,9 +176,11 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
       unit_outcomes[i] = std::move(*cached);
       ++report_.cache_hits;
     } else {
+      if (corrupt) campaign_metrics().units_recomputed_after_corruption.increment();
       pending.push_back(i);
     }
   }
+  campaign_metrics().units_cached.add(report_.cache_hits);
 
   manifest.progress.units_done = report_.cache_hits;
   manifest.progress.cache_hits = report_.cache_hits;
@@ -190,33 +212,43 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
           const double start = now_seconds();
           std::vector<MtrmIterationOutcome> outcomes;
           outcomes.reserve(unit.end - unit.begin);
-          for (std::size_t iteration = unit.begin; iteration < unit.end; ++iteration) {
-            Rng iteration_rng = substream(point.trial_root, iteration);
-            outcomes.push_back(run_mtrm_iteration<2>(point.config, iteration_rng));
+          {
+            const metrics::Timer::Scope unit_timer =
+                campaign_metrics().unit_seconds.measure();
+            for (std::size_t iteration = unit.begin; iteration < unit.end; ++iteration) {
+              Rng iteration_rng = substream(point.trial_root, iteration);
+              outcomes.push_back(run_mtrm_iteration<2>(point.config, iteration_rng));
+            }
           }
           store.save(unit.canonical, outcomes);
+          campaign_metrics().units_computed.increment();
           const double seconds = now_seconds() - start;
 
           {
             const std::lock_guard<std::mutex> lock(progress_mutex);
             ++executed_done;
             exec_seconds_total += seconds;
-            if (!options_.quiet) {
-              const double mean = exec_seconds_total / static_cast<double>(executed_done);
-              const double eta =
-                  mean * static_cast<double>(pending.size() - executed_done);
-              std::fprintf(stderr,
-                           "[campaign %s] unit %zu/%zu done (point=%zu iters=[%zu,%zu) "
-                           "%.3fs, mean %.3fs, eta %.1fs, %zu cached)\n",
-                           name_.c_str(), report_.cache_hits + executed_done, units.size(),
-                           unit.point, unit.begin, unit.end, seconds, mean, eta,
-                           report_.cache_hits);
-            }
+            // Progress reporting rides the checkpoint cadence (the old code
+            // printed a line per unit — at campaign scale that is thousands
+            // of stderr lines nobody can read; the per-unit record now lives
+            // in the metrics: campaign.units_computed / campaign.unit_seconds).
             if (executed_done % options_.checkpoint_every == 0) {
               manifest.progress.units_done = report_.cache_hits + executed_done;
               manifest.progress.executed = executed_done;
               manifest.progress.unit_seconds_total = exec_seconds_total;
               save_manifest_atomic(manifest_path, manifest);
+              campaign_metrics().checkpoint_flushes.increment();
+              if (!options_.quiet) {
+                const double mean =
+                    exec_seconds_total / static_cast<double>(executed_done);
+                const double eta =
+                    mean * static_cast<double>(pending.size() - executed_done);
+                std::fprintf(stderr,
+                             "[campaign %s] checkpoint: %zu/%zu units done "
+                             "(%zu cached, mean %.3fs/unit, eta %.1fs)\n",
+                             name_.c_str(), report_.cache_hits + executed_done,
+                             units.size(), report_.cache_hits, mean, eta);
+              }
             }
           }
 
@@ -291,6 +323,21 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
     result_report.add_sample(std::move(sample));
   }
   write_text_file_atomic(dir / "result.json", result_report.dump());
+
+  // Run metrics are a *separate* artifact on purpose: result.json must stay
+  // byte-identical across interrupted/resumed runs of the same sweep, while
+  // the metrics legitimately differ (a resumed run reports cache hits where
+  // the original reported compute). metrics.json carries the accounting the
+  // result file must not: cache behavior, per-unit timing, engine counters.
+  BenchReport metrics_report("campaign_" + name_ + "_metrics");
+  metrics_report.add_param("campaign", JsonValue::string(name_));
+  metrics_report.add_param("units_total", JsonValue::number(report_.units_total));
+  metrics_report.add_param("cache_hits", JsonValue::number(report_.cache_hits));
+  metrics_report.add_param("executed", JsonValue::number(report_.executed));
+  metrics_report.add_param("invalid_store_entries",
+                           JsonValue::number(report_.invalid_store_entries));
+  metrics_report.add_extra("metrics", metrics::collect_json());
+  write_text_file_atomic(dir / "metrics.json", metrics_report.dump());
 
   if (!options_.quiet) {
     std::fprintf(stderr,

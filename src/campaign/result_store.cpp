@@ -1,6 +1,5 @@
 #include "campaign/result_store.hpp"
 
-#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +7,7 @@
 #include "support/fs.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
+#include "support/numeric.hpp"
 
 namespace manet::campaign {
 
@@ -15,12 +15,11 @@ namespace {
 
 /// Binary64 round-trip rendering (17 significant digits): one double, one
 /// byte sequence — the canonical string must be a pure function of the
-/// values it encodes.
-std::string fmt_double(double value) {
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+/// values it encodes, *including* being independent of the global locale
+/// (support/numeric.hpp; a comma decimal separator would silently change
+/// every content-address key). Byte-identical to the C-locale "%.17g" the
+/// store was seeded with, so existing entries stay addressable.
+std::string fmt_double(double value) { return format_double_roundtrip(value); }
 
 void append_fractions(std::ostringstream& out, const char* label,
                       const std::vector<double>& fractions) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 
 namespace manet {
@@ -19,9 +20,11 @@ struct OutageStats {
   std::size_t longest_uptime = 0;     ///< longest run of connected steps
   double availability = 0.0;          ///< connected_steps / steps
 
-  /// Mean time between the starts of consecutive outages, the MTBF analogue
-  /// (0 when fewer than two outages occur).
-  double mean_steps_between_outages = 0.0;
+  /// Mean time between the starts of consecutive outages, the MTBF
+  /// analogue. Empty when fewer than two outages occur: with zero or one
+  /// outage there is no between-interval at all. (This used to be 0.0 in
+  /// that case, indistinguishable from genuinely back-to-back outages.)
+  std::optional<double> mean_steps_between_outages;
 };
 
 /// Computes outage statistics from a time-ordered per-step critical-radius

@@ -2,6 +2,7 @@
 
 #include "support/contracts.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace manet {
@@ -11,6 +12,9 @@ BisectionResult bisect_min_range(const BisectionOptions& options,
   MANET_EXPECTS(options.lo < options.hi);
   MANET_EXPECTS(options.tolerance > 0.0);
   MANET_EXPECTS(options.max_iterations > 0);
+  static metrics::Counter searches = metrics::counter("threshold.searches");
+  static metrics::Counter evaluations = metrics::counter("threshold.evaluations");
+  searches.increment();
 
   BisectionResult result;
   double lo = options.lo;
@@ -33,6 +37,7 @@ BisectionResult bisect_min_range(const BisectionOptions& options,
     }
   }
   MANET_ENSURE(options.lo <= hi && hi <= options.hi);
+  evaluations.add(result.evaluations);
   result.range = hi;
   return result;
 }
@@ -46,11 +51,13 @@ BisectionResult bisect_min_range_mc(const BisectionOptions& options,
                                     const McPredicateOptions& mc,
                                     const TrialStatistic& statistic) {
   mc.validate();
+  static metrics::Counter mc_trials = metrics::counter("threshold.mc_trials");
   // The evaluation index keys each candidate's substream root, so the
   // randomness a candidate sees depends only on *when in the search* it is
   // evaluated — which bisection fixes — never on thread scheduling.
   std::size_t evaluation = 0;
   return bisect_min_range(options, [&](double range) {
+    mc_trials.add(mc.trials);
     const std::uint64_t evaluation_root = substream_seed(mc.seed, evaluation++);
     const double sum = parallel_reduce_trials(
         mc.trials, evaluation_root,

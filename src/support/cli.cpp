@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <charconv>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "support/error.hpp"
+#include "support/numeric.hpp"
 
 namespace manet {
 namespace {
@@ -139,14 +142,20 @@ std::uint64_t CliParser::uint_value(const std::string& name) const {
 
 double CliParser::double_value(const std::string& name) const {
   const std::string text = string_value(name);
-  try {
-    std::size_t consumed = 0;
-    const double out = std::stod(text, &consumed);
-    if (consumed != text.size()) throw std::invalid_argument(text);
-    return out;
-  } catch (const std::exception&) {
+  // Locale-independent parse (support/numeric.hpp): std::stod obeys the
+  // global locale and would reject "0.95" under a comma-decimal locale.
+  // stod also tolerated a leading '+', which from_chars does not; keep that
+  // ergonomic spelling for CLI values.
+  std::string_view view = text;
+  if (view.size() >= 2 && view.front() == '+' &&
+      ((view[1] >= '0' && view[1] <= '9') || view[1] == '.')) {
+    view.remove_prefix(1);
+  }
+  const std::optional<double> value = parse_double(view);
+  if (!value.has_value()) {
     throw ConfigError("option '--" + name + "': '" + text + "' is not a number");
   }
+  return *value;
 }
 
 }  // namespace manet

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "support/error.hpp"
+#include "support/numeric.hpp"
 
 namespace manet {
 
@@ -36,22 +38,20 @@ const char* type_name(JsonValue::Type type) {
 
 /// Canonical number rendering: integers within the binary64-exact window as
 /// plain integers, everything else with 17 significant digits (the binary64
-/// round-trip guarantee). One double -> one byte sequence.
+/// round-trip guarantee). One double -> one byte sequence, via the
+/// locale-independent support/numeric.hpp helpers — snprintf would render a
+/// comma decimal separator under e.g. de_DE and corrupt every document.
 std::string render_number(double value) {
   if (std::isfinite(value) && value == std::floor(value) &&
       std::abs(value) <= 9007199254740992.0 /* 2^53 */) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
-    return buffer;
+    return format_double_integer(value);
   }
   if (!std::isfinite(value)) {
     // JSON has no Inf/NaN; the simulation never produces them in persisted
     // quantities. Refuse loudly rather than emit an unreadable document.
     throw ConfigError("JSON: refusing to serialize a non-finite number");
   }
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
+  return format_double_roundtrip(value);
 }
 
 void render_string(const std::string& text, std::string& out) {
@@ -318,14 +318,19 @@ class Parser {
       }
     }
     if (pos_ == start) fail("expected a JSON value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+    // Locale-independent parse (support/numeric.hpp): strtod obeys the
+    // global locale and would mis-parse "0.5" under a comma-decimal locale.
+    // parse_double is also stricter than strtod was: a leading '+' and
+    // magnitudes that underflow binary64 are malformed, as per the JSON
+    // grammar. The token scan above admits no letters, so "inf"/"nan" can
+    // never reach the isfinite check.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const std::optional<double> value = parse_double(token);
+    if (!value.has_value() || !std::isfinite(*value)) {
       pos_ = start;
-      fail("malformed number '" + token + "'");
+      fail("malformed number '" + std::string(token) + "'");
     }
-    return JsonValue::number(value);
+    return JsonValue::number(*value);
   }
 
   std::string_view text_;

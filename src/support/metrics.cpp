@@ -1,0 +1,251 @@
+#include "support/metrics.hpp"
+
+#if MANET_METRICS
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <map>
+#include <mutex>
+#endif
+
+namespace manet::metrics {
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const SnapshotCounter& entry : counters) {
+    if (entry.name == name) return entry.value;
+  }
+  return 0;
+}
+
+#if MANET_METRICS
+
+namespace {
+
+struct CounterSlot {
+  std::string name;
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeSlot {
+  std::string name;
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct TimerSlot {
+  std::string name;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::array<std::atomic<std::uint64_t>, kTimingBuckets> buckets{};
+};
+
+/// Name -> id maps plus the value storage. Deques never move elements, so
+/// ids stay valid and flushes touch the slots without holding the mutex;
+/// the mutex only guards registration and snapshot/reset enumeration.
+struct Registry {
+  std::mutex mutex;
+  std::deque<CounterSlot> counters;
+  std::deque<GaugeSlot> gauges;
+  std::deque<TimerSlot> timers;
+  std::map<std::string, std::size_t, std::less<>> counter_ids;
+  std::map<std::string, std::size_t, std::less<>> gauge_ids;
+  std::map<std::string, std::size_t, std::less<>> timer_ids;
+};
+
+/// Constructed on first registration. Every path into the thread pool goes
+/// through detail::run_task_batch, which registers its own counters before
+/// ThreadPool::instance(); the registry is therefore constructed first and
+/// destroyed last, so worker threads can still flush their sinks while the
+/// pool joins them during static destruction.
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+/// Requires the registry mutex.
+template <typename Slot>
+std::size_t register_slot(std::map<std::string, std::size_t, std::less<>>& ids,
+                          std::deque<Slot>& slots, std::string_view name) {
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  const std::size_t id = slots.size();
+  slots.emplace_back();
+  slots.back().name = std::string(name);
+  ids.emplace(std::string(name), id);
+  return id;
+}
+
+struct TimerLocal {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, kTimingBuckets> buckets{};
+};
+
+/// Per-thread sink: plain arrays indexed by metric id — no atomics, no
+/// sharing on the hot path. Grown on first touch per thread (the one
+/// allocation an increment can perform, covered by the warm-up the
+/// allocation-discipline gates already require). The destructor flushes so
+/// an exiting pool worker never strands pending increments.
+struct ThreadSink {
+  std::vector<std::uint64_t> counters;
+  std::vector<TimerLocal> timers;
+
+  ~ThreadSink() { flush(); }
+
+  void flush() noexcept {
+    Registry& reg = registry();
+    for (std::size_t id = 0; id < counters.size(); ++id) {
+      if (counters[id] == 0) continue;
+      reg.counters[id].value.fetch_add(counters[id], std::memory_order_relaxed);
+      counters[id] = 0;
+    }
+    for (std::size_t id = 0; id < timers.size(); ++id) {
+      TimerLocal& local = timers[id];
+      if (local.count == 0) continue;
+      TimerSlot& slot = reg.timers[id];
+      slot.count.fetch_add(local.count, std::memory_order_relaxed);
+      slot.total_ns.fetch_add(local.total_ns, std::memory_order_relaxed);
+      for (std::size_t bucket = 0; bucket < kTimingBuckets; ++bucket) {
+        if (local.buckets[bucket] != 0) {
+          slot.buckets[bucket].fetch_add(local.buckets[bucket], std::memory_order_relaxed);
+        }
+      }
+      local = TimerLocal{};
+    }
+  }
+};
+
+ThreadSink& thread_sink() {
+  thread_local ThreadSink sink;
+  return sink;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  if (n == 0) return;
+  auto& counters = thread_sink().counters;
+  if (counters.size() <= id_) counters.resize(id_ + 1, 0);
+  counters[id_] += n;
+}
+
+void Gauge::set(std::uint64_t value) noexcept {
+  registry().gauges[id_].value.store(value, std::memory_order_relaxed);
+}
+
+void Timer::record_ns(std::uint64_t ns) {
+  auto& timers = thread_sink().timers;
+  if (timers.size() <= id_) timers.resize(id_ + 1);
+  TimerLocal& local = timers[id_];
+  ++local.count;
+  local.total_ns += ns;
+  ++local.buckets[static_cast<std::size_t>(std::bit_width(ns))];
+}
+
+Counter counter(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return Counter(register_slot(reg.counter_ids, reg.counters, name));
+}
+
+Gauge gauge(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return Gauge(register_slot(reg.gauge_ids, reg.gauges, name));
+}
+
+Timer timer(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return Timer(register_slot(reg.timer_ids, reg.timers, name));
+}
+
+void flush_thread_sink() noexcept { thread_sink().flush(); }
+
+Snapshot snapshot() {
+  flush_thread_sink();
+  Snapshot snap;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  // The id maps iterate in name order, which is what makes the snapshot —
+  // and therefore to_json() — deterministically ordered.
+  for (const auto& [name, id] : reg.counter_ids) {
+    snap.counters.push_back(
+        SnapshotCounter{name, reg.counters[id].value.load(std::memory_order_relaxed)});
+  }
+  for (const auto& [name, id] : reg.gauge_ids) {
+    snap.gauges.push_back(
+        SnapshotGauge{name, reg.gauges[id].value.load(std::memory_order_relaxed)});
+  }
+  for (const auto& [name, id] : reg.timer_ids) {
+    const TimerSlot& slot = reg.timers[id];
+    SnapshotTiming timing;
+    timing.name = name;
+    timing.count = slot.count.load(std::memory_order_relaxed);
+    timing.total_ns = slot.total_ns.load(std::memory_order_relaxed);
+    for (std::size_t bucket = 0; bucket < kTimingBuckets; ++bucket) {
+      const std::uint64_t value = slot.buckets[bucket].load(std::memory_order_relaxed);
+      if (value != 0) timing.buckets.push_back(TimingBucket{bucket, value});
+    }
+    snap.timings.push_back(std::move(timing));
+  }
+  return snap;
+}
+
+void reset() {
+  ThreadSink& sink = thread_sink();
+  std::fill(sink.counters.begin(), sink.counters.end(), std::uint64_t{0});
+  for (TimerLocal& local : sink.timers) local = TimerLocal{};
+
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (CounterSlot& slot : reg.counters) slot.value.store(0, std::memory_order_relaxed);
+  for (GaugeSlot& slot : reg.gauges) slot.value.store(0, std::memory_order_relaxed);
+  for (TimerSlot& slot : reg.timers) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.total_ns.store(0, std::memory_order_relaxed);
+    for (std::size_t bucket = 0; bucket < kTimingBuckets; ++bucket) {
+      slot.buckets[bucket].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#endif  // MANET_METRICS
+
+JsonValue to_json(const Snapshot& snap) {
+  JsonValue doc = JsonValue::object();
+  doc.set("enabled", JsonValue::boolean(compiled_in()));
+  JsonValue counters = JsonValue::object();
+  for (const SnapshotCounter& entry : snap.counters) {
+    counters.set(entry.name, JsonValue::number(static_cast<std::size_t>(entry.value)));
+  }
+  doc.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const SnapshotGauge& entry : snap.gauges) {
+    gauges.set(entry.name, JsonValue::number(static_cast<std::size_t>(entry.value)));
+  }
+  doc.set("gauges", std::move(gauges));
+  JsonValue timings = JsonValue::object();
+  for (const SnapshotTiming& entry : snap.timings) {
+    JsonValue timing = JsonValue::object();
+    timing.set("count", JsonValue::number(static_cast<std::size_t>(entry.count)));
+    timing.set("total_seconds",
+               JsonValue::number(static_cast<double>(entry.total_ns) * 1e-9));
+    JsonValue buckets = JsonValue::array();
+    for (const TimingBucket& bucket : entry.buckets) {
+      JsonValue item = JsonValue::object();
+      item.set("log2_ns", JsonValue::number(bucket.log2_ns));
+      item.set("count", JsonValue::number(static_cast<std::size_t>(bucket.count)));
+      buckets.push_back(std::move(item));
+    }
+    timing.set("buckets", std::move(buckets));
+    timings.set(entry.name, std::move(timing));
+  }
+  doc.set("timings", std::move(timings));
+  return doc;
+}
+
+JsonValue collect_json() { return to_json(snapshot()); }
+
+}  // namespace manet::metrics

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "support/error.hpp"
+
+namespace manet {
+
+/// Locale-independent number rendering and parsing (std::to_chars /
+/// std::from_chars). The C locale's snprintf("%.17g") / std::strtod used
+/// before silently switch to a comma decimal separator under e.g. de_DE —
+/// which changes parsed parameters, JSON documents and the campaign store's
+/// canonical content-address strings. These helpers are immune to the global
+/// locale and byte-identical to the C-locale snprintf renderings (verified
+/// exhaustively over random doubles, subnormals included), so existing store
+/// keys and golden artifacts are unchanged.
+
+/// Shortest-fitting 17-significant-digit rendering, the binary64 round-trip
+/// guarantee: one double, one byte sequence, identical to C-locale "%.17g".
+/// Requires a finite value.
+inline std::string format_double_roundtrip(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value, std::chars_format::general, 17);
+  if (ec != std::errc()) throw ConfigError("format_double_roundtrip: buffer exhausted");
+  return std::string(buffer, ptr);
+}
+
+/// Integer rendering (no fraction, no exponent), identical to C-locale
+/// "%.0f". Intended for integral doubles within the binary64-exact window
+/// (|value| <= 2^53), where it is exact.
+inline std::string format_double_integer(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value, std::chars_format::fixed, 0);
+  if (ec != std::errc()) throw ConfigError("format_double_integer: buffer exhausted");
+  return std::string(buffer, ptr);
+}
+
+/// Strict full-string parse: the entire input must be one well-formed
+/// number, or nullopt. Unlike std::stod / std::strtod this never consults
+/// the global locale, does not skip leading whitespace, does not accept a
+/// leading '+', and rejects magnitudes outside the binary64 range (overflow
+/// to infinity, underflow below the smallest subnormal) instead of clamping.
+/// "inf" / "nan" spellings parse to the corresponding non-finite values,
+/// matching strtod; callers that need finiteness check it themselves.
+inline std::optional<double> parse_double(std::string_view text) noexcept {
+  double value = 0.0;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace manet

@@ -7,6 +7,8 @@
 #include <string>
 #include <thread>
 
+#include "support/metrics.hpp"
+
 namespace manet {
 namespace {
 
@@ -50,10 +52,12 @@ class ThreadPool {
   }
 
   void ensure_workers(std::size_t count) {
+    static metrics::Gauge pool_workers = metrics::gauge("pool.workers");
     std::unique_lock<std::mutex> lock(mutex_);
     while (workers_.size() < count && workers_.size() < kMaxThreads) {
       workers_.emplace_back([this] { worker_loop(); });
     }
+    pool_workers.set(workers_.size());
   }
 
   void submit(std::function<void()> task) {
@@ -146,8 +150,29 @@ void atomic_store_min(std::atomic<std::size_t>& current, std::size_t candidate) 
 void run_task_batch(std::size_t count, std::size_t threads,
                     const std::function<void(std::size_t)>& run_task) {
   if (count == 0) return;
+  // Pool telemetry. Registered (constructing the metrics registry) before
+  // ThreadPool::instance() ever runs, so the registry outlives the pool and
+  // worker threads can still flush their sinks while the pool joins them at
+  // static destruction. These counters describe how work was *scheduled*,
+  // not what was computed — they are legitimately thread-count dependent.
+  static metrics::Counter pool_batches = metrics::counter("pool.batches");
+  static metrics::Counter pool_tasks = metrics::counter("pool.tasks_executed");
+  static metrics::Counter pool_steals = metrics::counter("pool.steals");
+  pool_batches.increment();
+
+  // This is the metrics merge point: every task flushes the executing
+  // thread's sink right after running, *before* the batch's completion
+  // latch, so all task-attributed metrics are globally visible (with a
+  // happens-before edge through the batch mutex) by the time the batch —
+  // i.e. the parallel engine's reduction barrier — returns.
+  const auto run_and_flush = [&run_task](std::size_t task) {
+    run_task(task);
+    pool_tasks.increment();
+    metrics::flush_thread_sink();
+  };
+
   if (count == 1 || threads <= 1) {
-    for (std::size_t task = 0; task < count; ++task) run_task(task);
+    for (std::size_t task = 0; task < count; ++task) run_and_flush(task);
     return;
   }
 
@@ -159,8 +184,8 @@ void run_task_batch(std::size_t count, std::size_t threads,
   Batch batch;
   batch.remaining = count;
   for (std::size_t task = 0; task < count; ++task) {
-    pool.submit([&batch, &run_task, task] {
-      run_task(task);
+    pool.submit([&batch, &run_and_flush, task] {
+      run_and_flush(task);
       {
         std::unique_lock<std::mutex> lock(batch.mutex);
         --batch.remaining;
@@ -177,7 +202,10 @@ void run_task_batch(std::size_t count, std::size_t threads,
       std::unique_lock<std::mutex> lock(batch.mutex);
       if (batch.remaining == 0) return;
     }
-    if (pool.run_one()) continue;
+    if (pool.run_one()) {
+      pool_steals.increment();
+      continue;
+    }
     std::unique_lock<std::mutex> lock(batch.mutex);
     batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
     return;

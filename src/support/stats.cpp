@@ -100,16 +100,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  std::size_t bin;
-  if (x < lo_) {
-    bin = 0;
-  } else if (x >= hi_) {
-    bin = counts_.size() - 1;
-  } else {
-    bin = std::min(static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
-  }
-  ++counts_[bin];
   ++total_;
+  // `!(x >= lo_)` rather than `x < lo_`: NaN fails every comparison and must
+  // land in an out-of-range tally, never in a bin (the old clamping path
+  // computed a bin index from NaN, which is undefined).
+  if (!(x >= lo_)) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const std::size_t bin =
+      std::min(static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  ++counts_[bin];
 }
 
 std::size_t Histogram::count(std::size_t bin) const {

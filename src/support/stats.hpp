@@ -63,8 +63,12 @@ double quantile_sorted(std::span<const double> sorted, double q);
 /// Convenience: copies, sorts, and evaluates several quantiles at once.
 std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs);
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped to
-/// the first / last bin so mass is never silently dropped.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are NOT folded
+/// into the edge bins (that silently skewed the edge-bin frequencies); they
+/// are tallied in explicit underflow() / overflow() counters instead, so the
+/// in-range shape stays honest and the out-of-range mass stays visible.
+/// Samples that fail `x >= lo` — NaN included, which fails every comparison
+/// — count as underflow; samples with `x >= hi` count as overflow.
 class Histogram {
  public:
   /// Requires lo < hi and bins >= 1.
@@ -74,14 +78,23 @@ class Histogram {
 
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bin) const;
+  /// Every sample ever added, in range or not.
   std::size_t total() const noexcept { return total_; }
+  /// Samples below lo (or NaN) / at-or-above hi.
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  /// Samples that landed in a bin: total() - underflow() - overflow().
+  std::size_t in_range() const noexcept { return total_ - underflow_ - overflow_; }
 
   /// Inclusive lower edge of `bin`.
   double bin_lo(std::size_t bin) const;
   /// Exclusive upper edge of `bin`.
   double bin_hi(std::size_t bin) const;
 
-  /// Fraction of samples in `bin`; 0 when the histogram is empty.
+  /// Fraction of ALL observed samples that landed in `bin`; 0 when the
+  /// histogram is empty. Out-of-range samples count toward the denominator
+  /// but toward no bin, so the bin frequencies sum to in_range() / total()
+  /// (== 1 only when everything was in range).
   double frequency(std::size_t bin) const;
 
  private:
@@ -90,6 +103,8 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace manet

@@ -6,12 +6,30 @@
 
 #include "support/contracts.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace manet {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Counters shared by every EmstEngine<D> instantiation. One bundle behind a
+/// function-local static so the names are registered exactly once, and the
+/// hot loops below touch nothing heavier than a thread-local add. These are
+/// pure *work* counters — how many rounds/rebuilds the input demanded — so
+/// they are deterministic for a fixed input regardless of thread count.
+struct EmstMetrics {
+  metrics::Counter solves = metrics::counter("emst.solves");
+  metrics::Counter rounds = metrics::counter("emst.doubling_rounds");
+  metrics::Counter dense = metrics::counter("emst.dense_fallbacks");
+  metrics::Counter rebuilds = metrics::counter("emst.grid_rebuilds");
+};
+
+EmstMetrics& emst_metrics() {
+  static EmstMetrics bundle;
+  return bundle;
+}
 
 }  // namespace
 
@@ -28,6 +46,7 @@ void EmstEngine<D>::dense_prim(std::span<const Point<D>> points, double side) {
   // arithmetic as mst_with_metric (topology/mst.hpp), into pooled scratch.
   const std::size_t n = points.size();
   stats_.dense_fallback = true;
+  emst_metrics().dense.increment();
   best_d2_.assign(n, kInf);
   best_from_.assign(n, 0);
   in_tree_.assign(n, 0);
@@ -78,6 +97,7 @@ std::span<const WeightedEdge> EmstEngine<D>::solve(std::span<const Point<D>> poi
   if (n > std::numeric_limits<std::uint32_t>::max()) {
     throw ConfigError("EmstEngine: more than 2^32 points are not supported");
   }
+  emst_metrics().solves.increment();
 
   // The farthest any pair can be: at this radius the candidate graph is
   // complete, so the doubling search always terminates.
@@ -95,11 +115,13 @@ std::span<const WeightedEdge> EmstEngine<D>::solve(std::span<const Point<D>> poi
   double radius = std::min(r0, r_max);
   for (;;) {
     ++stats_.rounds;
+    emst_metrics().rounds.increment();
     // Rebin at the current radius: rebuild only ever coarsens the cell size
     // upward, so the query below always satisfies radius <= cell_size and
     // never trips the CellGrid precondition, no matter how far the doubling
     // has pushed the radius.
     grid_.rebuild(points, box, radius);
+    emst_metrics().rebuilds.increment();
     MANET_INVARIANT(radius <= grid_.max_query_radius());
 
     candidates_.clear();
@@ -162,6 +184,7 @@ double EmstEngine<D>::max_nearest_neighbor_range(std::span<const Point<D>> point
   nn2_.assign(n, kInf);
   if (n < kDenseCutoff) {
     stats_.dense_fallback = true;
+    emst_metrics().dense.increment();
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         const double d2 = squared_distance(points[i], points[j]);
@@ -175,7 +198,9 @@ double EmstEngine<D>::max_nearest_neighbor_range(std::span<const Point<D>> point
     double radius = std::min(initial_radius(n, side), r_max);
     for (;;) {
       ++stats_.rounds;
+      emst_metrics().rounds.increment();
       grid_.rebuild(points, box, radius);
+      emst_metrics().rebuilds.increment();
       nn2_.assign(n, kInf);
       grid_.for_each_pair_within(radius, [this](std::size_t i, std::size_t j, double d2) {
         nn2_[i] = std::min(nn2_[i], d2);

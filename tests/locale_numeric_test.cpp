@@ -1,0 +1,209 @@
+// Locale regression tests for number parsing/formatting (support/numeric.hpp
+// and its consumers). The original bug: CLI parsing went through std::stod
+// and JSON through std::strtod, both of which honor the process locale — a
+// host running under de_DE (decimal comma) silently mis-parsed "2.5" as 2
+// and accepted "2,5". The from_chars/to_chars layer is locale-independent by
+// construction; these tests pin that, under an actual comma-decimal locale
+// when the container provides one (skipped otherwise — the C-locale strict
+// grammar tests always run).
+//
+// This is its own binary on purpose: setlocale() is process-global state, so
+// the de_DE fixture must not share a process with tests that assume "C".
+
+#include "support/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "campaign/result_store.hpp"
+#include "core/experiments.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace manet {
+namespace {
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Doubles that historically expose parser/formatter trouble: shortest-form
+/// ambiguity, subnormals, extremes, negative zero, exact integers.
+std::vector<double> tricky_values() {
+  return {0.1,
+          1.0 / 3.0,
+          2.5,
+          -0.0,
+          0.0,
+          1.0,
+          -17.0,
+          3.141592653589793,
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::max(),
+          -123456.789};
+}
+
+TEST(NumericCLocale, FormatParseRoundTripIsBitIdentical) {
+  for (const double value : tricky_values()) {
+    const std::string text = format_double_roundtrip(value);
+    const auto parsed = parse_double(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_TRUE(bitwise_equal(*parsed, value)) << text;
+    EXPECT_EQ(text.find(','), std::string::npos) << text;
+  }
+}
+
+TEST(NumericCLocale, ParseIsStrictFullString) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("3.5abc").has_value());   // trailing garbage
+  EXPECT_FALSE(parse_double(" 1").has_value());       // no whitespace skip
+  EXPECT_FALSE(parse_double("+1").has_value());       // '+' handled by CLI only
+  EXPECT_FALSE(parse_double("2,5").has_value());      // comma is never a decimal
+  EXPECT_FALSE(parse_double("1e-400").has_value());   // binary64 underflow
+  EXPECT_FALSE(parse_double("1e400").has_value());    // overflow
+  ASSERT_TRUE(parse_double("-2.5e-3").has_value());
+  EXPECT_DOUBLE_EQ(*parse_double("-2.5e-3"), -0.0025);
+}
+
+TEST(NumericCLocale, CliAcceptsLeadingPlusButNotPlusMinus) {
+  CliParser cli("test");
+  cli.add_option("x", "value", "0");
+  const char* argv_plus[] = {"prog", "--x", "+3.5"};
+  cli.parse(3, argv_plus);
+  EXPECT_DOUBLE_EQ(cli.double_value("x"), 3.5);
+
+  CliParser cli_bad("test");
+  cli_bad.add_option("x", "value", "0");
+  const char* argv_bad[] = {"prog", "--x", "+-3"};
+  cli_bad.parse(3, argv_bad);
+  EXPECT_THROW(cli_bad.double_value("x"), ConfigError);
+}
+
+/// Switches the process into a comma-decimal locale for one test, restoring
+/// the previous locale afterwards. Skips when the image ships no de_DE
+/// variant (this container only has C/C.utf8/POSIX; CI images may differ).
+class GermanLocaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    previous_ = current == nullptr ? "C" : current;
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr) return;
+    }
+    GTEST_SKIP() << "no de_DE locale installed; C-locale tests still cover "
+                    "the strict grammar";
+  }
+
+  void TearDown() override { std::setlocale(LC_ALL, previous_.c_str()); }
+
+ private:
+  std::string previous_;
+};
+
+TEST_F(GermanLocaleTest, ParsingIgnoresTheDecimalCommaLocale) {
+  // Sanity: the locale really is comma-decimal, or this test proves nothing.
+  ASSERT_STREQ(std::localeconv()->decimal_point, ",");
+
+  // The original failure mode: std::stod("2.5") under de_DE stops at '.' and
+  // returns 2. parse_double must see the full C-grammar number...
+  ASSERT_TRUE(parse_double("2.5").has_value());
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  // ...and "2,5" must stay malformed rather than silently parse as 2.5.
+  EXPECT_FALSE(parse_double("2,5").has_value());
+
+  CliParser cli("test");
+  cli.add_option("x", "value", "0");
+  const char* argv[] = {"prog", "--x", "2.5"};
+  cli.parse(3, argv);
+  EXPECT_DOUBLE_EQ(cli.double_value("x"), 2.5);
+
+  CliParser cli_comma("test");
+  cli_comma.add_option("x", "value", "0");
+  const char* argv_comma[] = {"prog", "--x", "2,5"};
+  cli_comma.parse(3, argv_comma);
+  EXPECT_THROW(cli_comma.double_value("x"), ConfigError);
+}
+
+TEST_F(GermanLocaleTest, JsonRoundTripIsBitIdenticalUnderCommaLocale) {
+  JsonValue array = JsonValue::array();
+  for (const double value : tricky_values()) {
+    array.push_back(JsonValue::number(value));
+    // No rendered number may pick up the locale's decimal comma.
+    EXPECT_EQ(JsonValue::number(value).dump().find(','), std::string::npos) << value;
+  }
+  const std::string text = array.dump();
+
+  const JsonValue parsed = JsonValue::parse(text);
+  const auto& items = parsed.items();
+  const auto values = tricky_values();
+  ASSERT_EQ(items.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(items[i].as_double(), values[i])) << i;
+  }
+}
+
+TEST_F(GermanLocaleTest, ResultStoreRoundTripsBitIdenticallyUnderCommaLocale) {
+  // The store's canonical strings and unit files embed doubles; a
+  // locale-sensitive formatter would change the content address (silently
+  // orphaning every cached unit) and corrupt reloaded outcomes.
+  MtrmSweepPoint point;
+  point.config.side = 256.5;
+  point.trial_root = 0x1234abcdu;
+  const std::string canonical = campaign::canonical_unit_string(point, 0, 2);
+
+  // The canonical string (= the content address) must not depend on the
+  // active locale: a locale-sensitive rendering would orphan every cached
+  // unit ever written from a differently-configured shell.
+  std::setlocale(LC_ALL, "C");
+  const std::string under_c = campaign::canonical_unit_string(point, 0, 2);
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) break;  // SetUp proved one exists
+  }
+  EXPECT_EQ(canonical, under_c);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "manet_locale_store_test";
+  std::filesystem::remove_all(dir);
+
+  std::vector<MtrmIterationOutcome> outcomes(2);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    MtrmIterationOutcome& outcome = outcomes[i];
+    outcome.range_for_time = tricky_values();
+    outcome.range_never_connected = 0.1 + static_cast<double>(i);
+    outcome.lcc_at_range_never = 1.0 / 3.0;
+    outcome.mean_critical_range = std::numeric_limits<double>::denorm_min();
+  }
+
+  const campaign::ResultStore store(dir);
+  store.save(canonical, outcomes);
+  bool corrupt = false;
+  const auto loaded = store.load(canonical, outcomes.size(), &corrupt);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_FALSE(corrupt);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const MtrmIterationOutcome& saved = outcomes[i];
+    const MtrmIterationOutcome& back = (*loaded)[i];
+    ASSERT_EQ(back.range_for_time.size(), saved.range_for_time.size());
+    for (std::size_t j = 0; j < saved.range_for_time.size(); ++j) {
+      EXPECT_TRUE(bitwise_equal(back.range_for_time[j], saved.range_for_time[j]));
+    }
+    EXPECT_TRUE(bitwise_equal(back.range_never_connected, saved.range_never_connected));
+    EXPECT_TRUE(bitwise_equal(back.lcc_at_range_never, saved.lcc_at_range_never));
+    EXPECT_TRUE(bitwise_equal(back.mean_critical_range, saved.mean_critical_range));
+  }
+}
+
+}  // namespace
+}  // namespace manet

@@ -51,14 +51,35 @@ TEST(AnalyzeOutages, CountsMaximalRuns) {
   EXPECT_EQ(stats.longest_uptime, 2u);
   EXPECT_NEAR(stats.availability, 3.0 / 7.0, 1e-12);
   // Outage starts at t = 0, 3, 6 -> mean spacing (6 - 0) / 2 = 3.
-  EXPECT_DOUBLE_EQ(stats.mean_steps_between_outages, 3.0);
+  ASSERT_TRUE(stats.mean_steps_between_outages.has_value());
+  EXPECT_DOUBLE_EQ(*stats.mean_steps_between_outages, 3.0);
 }
 
 TEST(AnalyzeOutages, SingleOutageHasNoSpacing) {
+  // One outage has no between-outage interval: the field must be empty, not
+  // a 0.0 that reads like "outages start back to back".
   const std::vector<double> timeline = {kUp, kDown, kUp};
   const OutageStats stats = analyze_outages(timeline, 1.0);
   EXPECT_EQ(stats.outage_count, 1u);
-  EXPECT_DOUBLE_EQ(stats.mean_steps_between_outages, 0.0);
+  EXPECT_FALSE(stats.mean_steps_between_outages.has_value());
+}
+
+TEST(AnalyzeOutages, NoOutageHasNoSpacing) {
+  const std::vector<double> timeline = {kUp, kUp};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.outage_count, 0u);
+  EXPECT_FALSE(stats.mean_steps_between_outages.has_value());
+}
+
+TEST(AnalyzeOutages, BackToBackOutagesHaveSpacingDistinctFromSingle) {
+  // down up down: starts at t = 0 and t = 2 -> spacing 2.0. Before the
+  // optional, a *single* outage also reported 0.0 here; now only a real
+  // measured interval carries a value.
+  const std::vector<double> timeline = {kDown, kUp, kDown};
+  const OutageStats stats = analyze_outages(timeline, 1.0);
+  EXPECT_EQ(stats.outage_count, 2u);
+  ASSERT_TRUE(stats.mean_steps_between_outages.has_value());
+  EXPECT_DOUBLE_EQ(*stats.mean_steps_between_outages, 2.0);
 }
 
 TEST(AnalyzeOutages, BoundaryExactlyAtRangeIsConnected) {

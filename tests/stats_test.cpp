@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "support/error.hpp"
@@ -155,13 +156,39 @@ TEST(Histogram, BinEdgesAndCounts) {
   EXPECT_DOUBLE_EQ(hist.frequency(0), 2.0 / 3.0);
 }
 
-TEST(Histogram, ClampsOutOfRangeSamples) {
+TEST(Histogram, OutOfRangeSamplesLandInUnderOverflowNotEdgeBins) {
   Histogram hist(0.0, 1.0, 2);
-  hist.add(-5.0);
-  hist.add(5.0);
-  hist.add(1.0);  // == hi, clamped into last bin
+  hist.add(-5.0);  // below lo -> underflow, NOT bin 0
+  hist.add(5.0);   // above hi -> overflow, NOT bin 1
+  hist.add(1.0);   // == hi: the range is [lo, hi), so this is overflow too
+  hist.add(0.25);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
   EXPECT_EQ(hist.count(0), 1u);
-  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(1), 0u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.in_range(), 1u);
+}
+
+TEST(Histogram, FrequenciesSumToInRangeFractionOfTotal) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.add(0.1);
+  hist.add(0.6);
+  hist.add(7.0);  // overflow: counts toward total(), toward no bin
+  EXPECT_DOUBLE_EQ(hist.frequency(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hist.frequency(1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(hist.frequency(0) + hist.frequency(1),
+                   static_cast<double>(hist.in_range()) / static_cast<double>(hist.total()));
+}
+
+TEST(Histogram, NanCountsAsUnderflowNeverABin) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  EXPECT_EQ(hist.count(0), 0u);
+  EXPECT_EQ(hist.count(1), 0u);
+  EXPECT_EQ(hist.total(), 1u);
 }
 
 TEST(Histogram, RejectsBadConstruction) {
