@@ -1,22 +1,60 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# first-party translation unit in src/, using a CMake compile database.
-# Exits non-zero on any finding, so the check is reproducible locally and
-# gates CI (.github/workflows/ci.yml) identically.
+# Static-analysis entry point: three legs over the first-party tree, each
+# reproducible locally and gating CI (.github/workflows/ci.yml) identically.
+#
+#   1. manet-lint    — the project's own determinism linter (tools/lint/),
+#                      built from source; needs nothing beyond the C++
+#                      toolchain, so it always runs.
+#   2. clang-tidy    — config: .clang-tidy at the repo root, over every
+#                      first-party translation unit in src/ and tools/lint/
+#                      (the linter lints the linter), using a CMake compile
+#                      database.
+#   3. cppcheck      — whole-program checks clang-tidy doesn't do, with the
+#                      checked-in suppression list tools/lint/cppcheck_suppressions.txt.
+#
+# clang-tidy and cppcheck skip gracefully when the binary is missing so
+# developer machines without LLVM / cppcheck still get the manet-lint leg;
+# CI escalates a missing tool to a hard failure via MANET_REQUIRE_*=1.
 #
 # Usage:
 #   scripts/run_static_analysis.sh [build-dir]
 #
 # Environment:
 #   CLANG_TIDY                 clang-tidy binary to use (default: autodetect).
+#   CPPCHECK                   cppcheck binary to use (default: autodetect).
 #   MANET_REQUIRE_CLANG_TIDY   when 1, a missing clang-tidy is an error
-#                              (exit 2) instead of a skip (exit 0). CI sets
-#                              this; developer machines without LLVM skip.
+#                              (exit 2) instead of a skip. CI sets this.
+#   MANET_REQUIRE_CPPCHECK     when 1, a missing cppcheck is an error
+#                              (exit 2) instead of a skip. CI sets this.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build/tidy"}"
 
+overall_status=0
+
+# A compile database is required by clang-tidy and used to build manet-lint;
+# configure one if the build dir lacks it.
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "configuring ${build_dir} for compile_commands.json"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# ---------------------------------------------------------------------------
+# Leg 1: manet-lint (tools/lint/) — determinism-contract rules. Self-built,
+# so it never skips: a tree that compiles can always be linted.
+# ---------------------------------------------------------------------------
+echo "== manet-lint =="
+cmake --build "${build_dir}" --target manet_lint -j "$(nproc)" > /dev/null
+if ! "${build_dir}/tools/lint/manet_lint" --root "${repo_root}"; then
+  echo "manet-lint FAILED: determinism-contract violations (see above)" >&2
+  overall_status=1
+fi
+
+# ---------------------------------------------------------------------------
+# Leg 2: clang-tidy over src/ and tools/lint/.
+# ---------------------------------------------------------------------------
 find_clang_tidy() {
   if [[ -n "${CLANG_TIDY:-}" ]]; then
     command -v "${CLANG_TIDY}" && return 0
@@ -32,39 +70,82 @@ find_clang_tidy() {
   return 1
 }
 
+echo "== clang-tidy =="
 if ! tidy_bin="$(find_clang_tidy)"; then
   if [[ "${MANET_REQUIRE_CLANG_TIDY:-0}" == "1" ]]; then
     echo "error: clang-tidy not found and MANET_REQUIRE_CLANG_TIDY=1" >&2
     exit 2
   fi
-  echo "warning: clang-tidy not found; skipping static analysis." >&2
+  echo "warning: clang-tidy not found; skipping this leg." >&2
   echo "         (install LLVM or set CLANG_TIDY; set MANET_REQUIRE_CLANG_TIDY=1 to fail)" >&2
-  exit 0
-fi
-echo "using ${tidy_bin} ($("${tidy_bin}" --version | sed -n 's/.*version /version /p' | head -1))"
-
-# A compile database is required; configure one if the build dir lacks it.
-if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
-  echo "configuring ${build_dir} for compile_commands.json"
-  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
-fi
-
-mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
-echo "analyzing ${#sources[@]} translation units under src/"
-
-status=0
-if run_parallel="$(command -v run-clang-tidy || true)" && [[ -n "${run_parallel}" ]]; then
-  "${run_parallel}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" -quiet \
-      "${repo_root}/src/.*\.cpp" || status=$?
 else
-  for source in "${sources[@]}"; do
-    "${tidy_bin}" -p "${build_dir}" --quiet "${source}" || status=$?
-  done
+  echo "using ${tidy_bin} ($("${tidy_bin}" --version | sed -n 's/.*version /version /p' | head -1))"
+  mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools/lint" -name '*.cpp' | sort)
+  echo "analyzing ${#sources[@]} translation units under src/ and tools/lint/"
+
+  tidy_status=0
+  if run_parallel="$(command -v run-clang-tidy || true)" && [[ -n "${run_parallel}" ]]; then
+    "${run_parallel}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" -quiet \
+        "${repo_root}/(src|tools/lint)/.*\.cpp" || tidy_status=$?
+  else
+    for source in "${sources[@]}"; do
+      "${tidy_bin}" -p "${build_dir}" --quiet "${source}" || tidy_status=$?
+    done
+  fi
+
+  if [[ ${tidy_status} -ne 0 ]]; then
+    echo "clang-tidy FAILED: findings reported (see above)" >&2
+    overall_status=1
+  else
+    echo "clang-tidy OK: no findings"
+  fi
 fi
 
-if [[ ${status} -ne 0 ]]; then
-  echo "static analysis FAILED: clang-tidy reported findings (see above)" >&2
+# ---------------------------------------------------------------------------
+# Leg 3: cppcheck, with the checked-in suppression list. --error-exitcode
+# makes findings fail the script; informational messages do not.
+# ---------------------------------------------------------------------------
+find_cppcheck() {
+  if [[ -n "${CPPCHECK:-}" ]]; then
+    command -v "${CPPCHECK}" && return 0
+  fi
+  if command -v cppcheck > /dev/null 2>&1; then
+    command -v cppcheck
+    return 0
+  fi
+  return 1
+}
+
+echo "== cppcheck =="
+if ! cppcheck_bin="$(find_cppcheck)"; then
+  if [[ "${MANET_REQUIRE_CPPCHECK:-0}" == "1" ]]; then
+    echo "error: cppcheck not found and MANET_REQUIRE_CPPCHECK=1" >&2
+    exit 2
+  fi
+  echo "warning: cppcheck not found; skipping this leg." >&2
+  echo "         (install cppcheck or set CPPCHECK; set MANET_REQUIRE_CPPCHECK=1 to fail)" >&2
+else
+  echo "using ${cppcheck_bin} ($("${cppcheck_bin}" --version))"
+  if "${cppcheck_bin}" \
+      --enable=warning,performance,portability \
+      --inline-suppr \
+      --suppressions-list="${repo_root}/tools/lint/cppcheck_suppressions.txt" \
+      --std=c++20 \
+      --language=c++ \
+      -I "${repo_root}/src" \
+      -I "${repo_root}/tools" \
+      --error-exitcode=1 \
+      --quiet \
+      "${repo_root}/src" "${repo_root}/tools/lint"; then
+    echo "cppcheck OK: no findings"
+  else
+    echo "cppcheck FAILED: findings reported (see above)" >&2
+    overall_status=1
+  fi
+fi
+
+if [[ ${overall_status} -ne 0 ]]; then
+  echo "static analysis FAILED (see legs above)" >&2
   exit 1
 fi
-echo "static analysis OK: no clang-tidy findings"
+echo "static analysis OK: all legs clean"

@@ -1,6 +1,5 @@
 #include "campaign/result_store.hpp"
 
-#include <sstream>
 #include <utility>
 
 #include "support/error.hpp"
@@ -21,14 +20,22 @@ namespace {
 /// store was seeded with, so existing entries stay addressable.
 std::string fmt_double(double value) { return format_double_roundtrip(value); }
 
-void append_fractions(std::ostringstream& out, const char* label,
+/// Decimal rendering of the canonical string's integer fields. Built on
+/// plain string appends, NOT an ostringstream: a stream imbues the global
+/// C++ locale, whose thousands grouping turns 1000 into "1.000" under de_DE
+/// — which would silently change every unit's content address on a
+/// comma-locale host (regression-pinned by locale_numeric_test).
+std::string fmt_uint(std::uint64_t value) { return format_u64(value); }
+
+void append_fractions(std::string& out, const char* label,
                       const std::vector<double>& fractions) {
-  out << label << '=';
+  out += label;
+  out += '=';
   for (std::size_t i = 0; i < fractions.size(); ++i) {
-    if (i > 0) out << ',';
-    out << fmt_double(fractions[i]);
+    if (i > 0) out += ',';
+    out += fmt_double(fractions[i]);
   }
-  out << '\n';
+  out += '\n';
 }
 
 JsonValue doubles_to_json(const std::vector<double>& values) {
@@ -73,45 +80,57 @@ MtrmIterationOutcome outcome_from_json(const JsonValue& doc) {
 std::string canonical_unit_string(const MtrmSweepPoint& point, std::size_t begin,
                                   std::size_t end) {
   const MtrmConfig& config = point.config;
-  std::ostringstream out;
-  out << "manet-campaign-unit/v" << kUnitSchemaVersion << '\n';
-  out << "d=2\n";
-  out << "node_count=" << config.node_count << '\n';
-  out << "side=" << fmt_double(config.side) << '\n';
-  out << "steps=" << config.steps << '\n';
-  out << "mobility=" << mobility_kind_name(config.mobility.kind) << '\n';
+  std::string out;
+  const auto field = [&out](const char* label, const std::string& value) {
+    out += label;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+  out += "manet-campaign-unit/v";
+  out += fmt_uint(static_cast<std::uint64_t>(kUnitSchemaVersion));
+  out += '\n';
+  out += "d=2\n";
+  field("node_count", fmt_uint(config.node_count));
+  field("side", fmt_double(config.side));
+  field("steps", fmt_uint(config.steps));
+  field("mobility", mobility_kind_name(config.mobility.kind));
   switch (config.mobility.kind) {
     case MobilityKind::kStationary:
       break;
     case MobilityKind::kRandomWaypoint: {
       const RandomWaypointParams& p = config.mobility.waypoint;
-      out << "v_min=" << fmt_double(p.v_min) << '\n';
-      out << "v_max=" << fmt_double(p.v_max) << '\n';
-      out << "pause_steps=" << p.pause_steps << '\n';
-      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
+      field("v_min", fmt_double(p.v_min));
+      field("v_max", fmt_double(p.v_max));
+      field("pause_steps", fmt_uint(p.pause_steps));
+      field("p_stationary", fmt_double(p.p_stationary));
       break;
     }
     case MobilityKind::kDrunkard: {
       const DrunkardParams& p = config.mobility.drunkard;
-      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
-      out << "p_pause=" << fmt_double(p.p_pause) << '\n';
-      out << "step_radius=" << fmt_double(p.step_radius) << '\n';
+      field("p_stationary", fmt_double(p.p_stationary));
+      field("p_pause", fmt_double(p.p_pause));
+      field("step_radius", fmt_double(p.step_radius));
       break;
     }
     case MobilityKind::kRandomDirection: {
       const RandomDirectionParams& p = config.mobility.direction;
-      out << "v_min=" << fmt_double(p.v_min) << '\n';
-      out << "v_max=" << fmt_double(p.v_max) << '\n';
-      out << "p_turn=" << fmt_double(p.p_turn) << '\n';
-      out << "p_stationary=" << fmt_double(p.p_stationary) << '\n';
+      field("v_min", fmt_double(p.v_min));
+      field("v_max", fmt_double(p.v_max));
+      field("p_turn", fmt_double(p.p_turn));
+      field("p_stationary", fmt_double(p.p_stationary));
       break;
     }
   }
   append_fractions(out, "time_fractions", config.time_fractions);
   append_fractions(out, "component_fractions", config.component_fractions);
-  out << "trial_root=" << hex_u64(point.trial_root) << '\n';
-  out << "iterations=[" << begin << ',' << end << ")\n";
-  return std::move(out).str();
+  field("trial_root", hex_u64(point.trial_root));
+  out += "iterations=[";
+  out += fmt_uint(begin);
+  out += ',';
+  out += fmt_uint(end);
+  out += ")\n";
+  return out;
 }
 
 std::uint64_t unit_key(const std::string& canonical) { return fnv1a(canonical); }

@@ -44,6 +44,8 @@ namespace manet::detail {
   std::fprintf(stderr, "%s:%u: MANET contract violated: %s (%s)\n", file, line, condition,
                kind);
   std::fflush(stderr);
+  // manet-lint: allow(process-control) — a violated contract means corrupted
+  // state; abort() is what gtest death tests and sanitizers expect to catch.
   std::abort();
 }
 

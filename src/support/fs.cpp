@@ -1,12 +1,14 @@
 #include "support/fs.hpp"
 
-#include <atomic>
+#include <atomic>  // manet-lint: allow(thread-confinement) — temp-name counter below
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
 #include "support/error.hpp"
+#include "support/numeric.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -20,16 +22,22 @@ namespace {
 /// Process-wide counter making concurrent temp names from different threads
 /// unique (the pid makes them unique across concurrent processes sharing a
 /// store directory).
+// manet-lint: allow(thread-confinement) — names transient .tmp siblings only;
+// the counter never reaches file contents, so results stay thread-count-free.
 std::atomic<std::uint64_t> g_temp_counter{0};
 
 std::filesystem::path temp_sibling(const std::filesystem::path& path) {
-  std::ostringstream name;
-  name << path.filename().string() << ".tmp."
+  // String appends, not an ostringstream: a stream would render the pid and
+  // counter with the global locale's thousands grouping ("1.234" under
+  // de_DE), and temp names should not vary with the host locale.
+  std::string name = path.filename().string();
+  name += ".tmp.";
 #if MANET_HAVE_FSYNC
-       << ::getpid() << '.'
+  name += format_u64(static_cast<std::uint64_t>(::getpid()));
+  name += '.';
 #endif
-       << g_temp_counter.fetch_add(1, std::memory_order_relaxed);
-  return path.parent_path() / name.str();
+  name += format_u64(g_temp_counter.fetch_add(1, std::memory_order_relaxed));
+  return path.parent_path() / name;
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <charconv>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,6 +39,34 @@ inline std::string format_double_integer(double value) {
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value, std::chars_format::fixed, 0);
   if (ec != std::errc()) throw ConfigError("format_double_integer: buffer exhausted");
+  return std::string(buffer, ptr);
+}
+
+/// Unsigned-integer rendering (plain decimal digits). Iostream insertion of
+/// an *integer* is locale-sensitive too: a named locale's thousands grouping
+/// renders 1000 as "1.000" under de_DE, which silently changed campaign
+/// content-address strings on comma-locale hosts (caught by
+/// locale_numeric_test's written-under-de_DE store round-trip).
+inline std::string format_u64(std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) throw ConfigError("format_u64: buffer exhausted");
+  return std::string(buffer, ptr);
+}
+
+/// Fixed-point rendering with exactly `precision` digits after the decimal
+/// point, identical to C-locale "%.*f" (glibc and to_chars both round ties
+/// to even): the locale-immune replacement for
+/// `ostringstream << std::fixed << std::setprecision(precision)`, which
+/// renders a decimal comma under e.g. de_DE. Used by TextTable::num so paper
+/// tables and CSV exports are byte-identical on every host. Requires a
+/// finite value and a non-negative precision.
+inline std::string format_fixed(double value, int precision) {
+  if (precision < 0) throw ConfigError("format_fixed: negative precision");
+  char buffer[512];  // worst case: DBL_MAX has 309 integral digits
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                                       std::chars_format::fixed, precision);
+  if (ec != std::errc()) throw ConfigError("format_fixed: buffer exhausted");
   return std::string(buffer, ptr);
 }
 

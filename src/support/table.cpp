@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
-#include <sstream>
 
 #include "support/error.hpp"
+#include "support/numeric.hpp"
 
 namespace manet {
 
@@ -19,9 +19,10 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::num(double value, int precision) {
-  std::ostringstream out;
-  out << std::fixed << std::setprecision(precision) << value;
-  return out.str();
+  // Locale-immune on purpose: the ostringstream << std::fixed path this
+  // replaces renders "1,50" under a comma-decimal process locale, changing
+  // every paper table and CSV export (manet-lint rule locale-format).
+  return format_fixed(value, precision);
 }
 
 void TextTable::print(std::ostream& out) const {

@@ -19,14 +19,19 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <locale>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <sstream>
 
 #include "campaign/result_store.hpp"
 #include "core/experiments.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/table.hpp"
 
 namespace manet {
 namespace {
@@ -88,25 +93,51 @@ TEST(NumericCLocale, CliAcceptsLeadingPlusButNotPlusMinus) {
   EXPECT_THROW(cli_bad.double_value("x"), ConfigError);
 }
 
+TEST(NumericCLocale, FormatFixedMatchesPrintfSemantics) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 3), "1.000");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");    // ties-to-even, like %.0f
+  EXPECT_EQ(format_fixed(3.5, 0), "4");
+  EXPECT_EQ(format_fixed(0.0, 0), "0");
+  EXPECT_EQ(format_fixed(-0.0, 2), "-0.00");
+  EXPECT_THROW(format_fixed(1.0, -1), ConfigError);
+}
+
 /// Switches the process into a comma-decimal locale for one test, restoring
-/// the previous locale afterwards. Skips when the image ships no de_DE
-/// variant (this container only has C/C.utf8/POSIX; CI images may differ).
+/// the previous locale afterwards. Sets BOTH locale layers the way a real
+/// de_DE host does: the C locale (setlocale — governs strtod/stod, the parse
+/// side) and the C++ global locale (std::locale::global — governs what
+/// iostreams imbue, the format side; setlocale alone never reaches
+/// ostringstream). Skips when the image ships no de_DE variant (this
+/// container only has C/C.utf8/POSIX; CI images may differ).
 class GermanLocaleTest : public ::testing::Test {
  protected:
   void SetUp() override {
     const char* current = std::setlocale(LC_ALL, nullptr);
-    previous_ = current == nullptr ? "C" : current;
+    previous_c_ = current == nullptr ? "C" : current;
+    previous_cpp_ = std::locale();
     for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
-      if (std::setlocale(LC_ALL, name) != nullptr) return;
+      try {
+        // Also switches the C locale (the locale has a name).
+        std::locale::global(std::locale(name));
+        return;
+      } catch (const std::runtime_error&) {
+        // not installed; try the next spelling
+      }
     }
     GTEST_SKIP() << "no de_DE locale installed; C-locale tests still cover "
                     "the strict grammar";
   }
 
-  void TearDown() override { std::setlocale(LC_ALL, previous_.c_str()); }
+  void TearDown() override {
+    std::locale::global(previous_cpp_);
+    std::setlocale(LC_ALL, previous_c_.c_str());
+  }
 
  private:
-  std::string previous_;
+  std::string previous_c_;
+  std::locale previous_cpp_;
 };
 
 TEST_F(GermanLocaleTest, ParsingIgnoresTheDecimalCommaLocale) {
@@ -203,6 +234,71 @@ TEST_F(GermanLocaleTest, ResultStoreRoundTripsBitIdenticallyUnderCommaLocale) {
     EXPECT_TRUE(bitwise_equal(back.lcc_at_range_never, saved.lcc_at_range_never));
     EXPECT_TRUE(bitwise_equal(back.mean_critical_range, saved.mean_critical_range));
   }
+}
+
+// ----- Formatting-side regressions (mirror of the parse-side suite) -------
+
+TEST_F(GermanLocaleTest, TableRenderingUsesDotDecimalUnderCommaLocale) {
+  ASSERT_STREQ(std::localeconv()->decimal_point, ",");
+
+  // The original bug: TextTable::num went through ostringstream <<
+  // std::fixed, which renders "1,50" under de_DE — every paper table and CSV
+  // export changed shape with the host locale.
+  EXPECT_EQ(TextTable::num(1.5, 2), "1.50");
+  EXPECT_EQ(TextTable::num(-123456.789, 3), "-123456.789");
+  EXPECT_EQ(format_fixed(0.1, 4), "0.1000");
+
+  TextTable table({"r", "ratio"});
+  table.add_row({TextTable::num(12.25, 2), TextTable::num(0.5, 3)});
+  std::ostringstream aligned;
+  table.print(aligned);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_EQ(aligned.str().find(','), std::string::npos) << aligned.str();
+  EXPECT_EQ(csv.str(), "r,ratio\n12.25,0.500\n");
+}
+
+TEST_F(GermanLocaleTest, StoreWrittenUnderGermanLocaleReadsBackUnderC) {
+  // Hosts in different locales share one campaign store. A unit persisted
+  // from a de_DE shell must hash to the same content address and reload
+  // bit-identically in a C-locale shell (and vice versa) — otherwise merged
+  // sweeps silently recompute or, worse, fold different bytes.
+  MtrmSweepPoint point;
+  point.config.side = 512.25;
+  point.trial_root = 0xfeedbeefu;
+  const std::string canonical = campaign::canonical_unit_string(point, 0, 1);
+
+  std::vector<MtrmIterationOutcome> outcomes(1);
+  outcomes[0].range_for_time = tricky_values();
+  outcomes[0].range_never_connected = 1.0 / 3.0;
+  outcomes[0].lcc_at_range_never = std::numeric_limits<double>::denorm_min();
+  outcomes[0].mean_critical_range = 0.1;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "manet_locale_format_store_test";
+  std::filesystem::remove_all(dir);
+  const campaign::ResultStore store(dir);
+  store.save(canonical, outcomes);  // written under de_DE
+
+  // Become a C-locale host (both layers); TearDown restores the original.
+  std::locale::global(std::locale::classic());
+  std::setlocale(LC_ALL, "C");
+  EXPECT_EQ(campaign::canonical_unit_string(point, 0, 1), canonical);
+  bool corrupt = false;
+  const auto loaded = store.load(canonical, outcomes.size(), &corrupt);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_FALSE(corrupt);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  const MtrmIterationOutcome& back = (*loaded)[0];
+  ASSERT_EQ(back.range_for_time.size(), outcomes[0].range_for_time.size());
+  for (std::size_t j = 0; j < back.range_for_time.size(); ++j) {
+    EXPECT_TRUE(bitwise_equal(back.range_for_time[j], outcomes[0].range_for_time[j])) << j;
+  }
+  EXPECT_TRUE(bitwise_equal(back.range_never_connected, outcomes[0].range_never_connected));
+  EXPECT_TRUE(bitwise_equal(back.lcc_at_range_never, outcomes[0].lcc_at_range_never));
+  EXPECT_TRUE(bitwise_equal(back.mean_critical_range, outcomes[0].mean_critical_range));
 }
 
 }  // namespace
