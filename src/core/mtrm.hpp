@@ -89,7 +89,10 @@ MtrmIterationOutcome run_mtrm_iteration(const MtrmConfig& config, Rng& iteration
   const auto model = make_mobility_model<D>(config.mobility, region);
   // Per-iteration workspace: the step loop reuses its grid/edge/curve
   // buffers across all `steps` EMST solves, and because every iteration
-  // owns its workspace nothing is shared across worker threads.
+  // owns its workspace nothing is shared across worker threads. The trace
+  // runs the kinetic engine by default (MANET_KINETIC / kinetic_enabled());
+  // either engine yields bit-identical curves, so the golden MTRM checksums
+  // hold regardless of the selection.
   TraceWorkspace<D> workspace;
   const MobileConnectivityTrace trace = run_mobile_trace<D>(
       config.node_count, region, config.steps, *model, iteration_rng, &workspace);

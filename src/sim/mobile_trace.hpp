@@ -114,32 +114,45 @@ class MobileConnectivityTrace {
 /// and of every subsequent step (`steps` curves in total; steps = 1 is the
 /// stationary case). Requires steps >= 1.
 ///
-/// The per-step curves are computed by the grid-accelerated EMST engine
-/// through `workspace` (expected O(n log n) per step, O(1) steady-state heap
-/// allocations; bit-identical to the dense path). Pass a workspace to reuse
-/// its buffers across multiple traces — e.g. a bench sweeping iterations
-/// serially — or leave it null for a per-call one. Workspaces are
-/// single-threaded: concurrent traces need one each (see core/mtrm.hpp).
+/// The per-step curves are computed through `workspace` by one of two
+/// bit-identical engines: the kinetic engine (topology/emst_kinetic.hpp,
+/// incremental repair exploiting temporal coherence — the default) or the
+/// batch EMST engine (full solve per step). `engine` selects explicitly;
+/// TraceEngine::kAuto defers to the process-wide kinetic_enabled() switch
+/// (MANET_KINETIC, default on). The choice can never change a result — the
+/// kinetic engine's repair invariant makes every step's tree bit-identical
+/// to the batch solve — only how fast the trace runs.
+///
+/// Pass a workspace to reuse its buffers across multiple traces — e.g. a
+/// bench sweeping iterations serially — or leave it null for a per-call one.
+/// Workspaces are single-threaded: concurrent traces need one each (see
+/// core/mtrm.hpp).
 template <int D>
 MobileConnectivityTrace run_mobile_trace(std::size_t n, const Box<D>& box, std::size_t steps,
                                          MobilityModel<D>& model, Rng& rng,
-                                         TraceWorkspace<D>* workspace = nullptr) {
+                                         TraceWorkspace<D>* workspace = nullptr,
+                                         TraceEngine engine = TraceEngine::kAuto) {
   MANET_EXPECTS(steps >= 1);
   TraceWorkspace<D> local_workspace;
   TraceWorkspace<D>& ws = workspace != nullptr ? *workspace : local_workspace;
+  const bool kinetic = engine == TraceEngine::kKinetic ||
+                       (engine == TraceEngine::kAuto && kinetic_enabled());
   auto positions = uniform_deployment(n, box, rng);
   model.initialize(positions, rng);
 
   std::vector<LargestComponentCurve> curves;
   curves.reserve(steps);
-  curves.push_back(largest_component_curve<D>(positions, box, ws));
+  curves.push_back(kinetic ? kinetic_component_curve<D>(positions, box, ws, /*first_step=*/true)
+                           : largest_component_curve<D>(positions, box, ws));
   for (std::size_t s = 1; s < steps; ++s) {
     model.step(positions, rng);
     // Whatever the model did, the trace must stay inside the deployment
     // region: every downstream occupancy / connectivity argument assumes it.
     MANET_INVARIANT(std::all_of(positions.begin(), positions.end(),
                                 [&box](const Point<D>& p) { return box.contains(p); }));
-    curves.push_back(largest_component_curve<D>(positions, box, ws));
+    curves.push_back(kinetic
+                         ? kinetic_component_curve<D>(positions, box, ws, /*first_step=*/false)
+                         : largest_component_curve<D>(positions, box, ws));
   }
   return MobileConnectivityTrace(n, std::move(curves), ws.merge_events);
 }

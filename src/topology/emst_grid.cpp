@@ -35,8 +35,7 @@ EmstMetrics& emst_metrics() {
 
 template <int D>
 double EmstEngine<D>::initial_radius(std::size_t n, double side) {
-  const double frac = std::log(static_cast<double>(n)) / static_cast<double>(n);
-  return side * std::pow(frac, 1.0 / static_cast<double>(D));
+  return emst_initial_radius<D>(n, side);
 }
 
 template <int D>

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -12,6 +13,17 @@
 #include "topology/mst.hpp"
 
 namespace manet {
+
+/// Starting radius of the adaptive doubling search: the connectivity
+/// threshold scale l * (log n / n)^(1/D) of random geometric graphs. Shared
+/// by the batch engine below and the kinetic engine
+/// (topology/emst_kinetic.hpp) so both select the dense fallback — and start
+/// their searches — on exactly the same inputs.
+template <int D>
+inline double emst_initial_radius(std::size_t n, double side) noexcept {
+  const double frac = std::log(static_cast<double>(n)) / static_cast<double>(n);
+  return side * std::pow(frac, 1.0 / static_cast<double>(D));
+}
 
 /// Per-solve diagnostics of the adaptive EMST engine, exposed for the perf
 /// bench (bench/perf_mst.cpp) and the property tests.

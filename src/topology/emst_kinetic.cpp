@@ -1,0 +1,590 @@
+#include "topology/emst_kinetic.hpp"
+
+#include <algorithm>
+// manet-lint: allow(thread-confinement) — for the engine-selection flag below; see its comment
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "support/contracts.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+
+namespace manet {
+
+namespace {
+
+/// Work counters shared by every KineticEmstEngine<D> instantiation, in the
+/// same function-local-static bundle style as the batch engine's. Pure work
+/// counters — deterministic for a fixed input at any thread count.
+struct KineticMetrics {
+  metrics::Counter traces = metrics::counter("kinetic.traces");
+  metrics::Counter steps = metrics::counter("kinetic.steps");
+  metrics::Counter incremental = metrics::counter("kinetic.incremental_repairs");
+  metrics::Counter rebuilds = metrics::counter("kinetic.full_rebuilds");
+  metrics::Counter growths = metrics::counter("kinetic.radius_growths");
+  metrics::Counter shrinks = metrics::counter("kinetic.radius_shrinks");
+  metrics::Counter dense = metrics::counter("kinetic.dense_traces");
+};
+
+KineticMetrics& kinetic_metrics() {
+  static KineticMetrics bundle;
+  return bundle;
+}
+
+bool environment_kinetic_default() {
+  const char* text = std::getenv("MANET_KINETIC");
+  if (text == nullptr || *text == '\0') return true;
+  const std::string_view value(text);
+  return !(value == "0" || value == "off" || value == "OFF" || value == "false" ||
+           value == "FALSE");
+}
+
+/// -1 = defer to MANET_KINETIC, 0 = forced off, 1 = forced on. Atomic only
+/// so concurrent trace workers can read the selection without a data race;
+/// the value never feeds a result (both engines are bit-identical).
+// manet-lint: allow(thread-confinement) — engine-selection flag read concurrently by trace workers; it selects between two bit-identical engines and never influences any computed value
+std::atomic<int> g_kinetic_mode{-1};
+
+bool candidate_less(double a_d2, std::uint32_t a_u, std::uint32_t a_v, double b_d2,
+                    std::uint32_t b_u, std::uint32_t b_v) noexcept {
+  if (a_d2 != b_d2) return a_d2 < b_d2;
+  if (a_u != b_u) return a_u < b_u;
+  return a_v < b_v;
+}
+
+}  // namespace
+
+bool kinetic_enabled() noexcept {
+  const int mode = g_kinetic_mode.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  static const bool from_environment = environment_kinetic_default();
+  return from_environment;
+}
+
+void set_kinetic_mode(KineticMode mode) noexcept {
+  int value = -1;
+  if (mode == KineticMode::kForceOn) value = 1;
+  if (mode == KineticMode::kForceOff) value = 0;
+  g_kinetic_mode.store(value, std::memory_order_relaxed);
+}
+
+template <int D>
+std::array<std::size_t, D> KineticEmstEngine<D>::cell_coords(
+    const Point<D>& p) const noexcept {
+  // Same arithmetic as CellGrid::cell_coords so boundary-sitting coordinates
+  // bin consistently in both structures.
+  std::array<std::size_t, D> c{};
+  for (int i = 0; i < D; ++i) {
+    const double x = p.coords[i] / cell_size_;
+    auto idx = static_cast<std::size_t>(x < 0.0 ? 0.0 : x);
+    c[i] = std::min(idx, cells_per_axis_ - 1);
+  }
+  return c;
+}
+
+template <int D>
+std::size_t KineticEmstEngine<D>::flat_index(
+    const std::array<std::size_t, D>& c) const noexcept {
+  std::size_t idx = 0;
+  for (int i = D - 1; i >= 0; --i) idx = idx * cells_per_axis_ + c[i];
+  return idx;
+}
+
+template <int D>
+void KineticEmstEngine<D>::rebuild_kinetic_grid(std::span<const Point<D>> points) {
+  // Mirror CellGrid's clamping: cap the cell count at ~4x the point count
+  // and at 2^12 per axis; clamping only ever coarsens, so cell_size_ >=
+  // radius_ and the 3^D neighborhood always covers the query radius.
+  constexpr std::size_t kMaxCellsPerAxis = 1u << 12;
+  const double budget = 4.0 * static_cast<double>(n_) + 64.0;
+  const auto per_axis_budget =
+      static_cast<std::size_t>(std::pow(budget, 1.0 / static_cast<double>(D)));
+  const std::size_t max_per_axis =
+      std::min(kMaxCellsPerAxis, std::max<std::size_t>(1, per_axis_budget));
+
+  // Prefer cells of ~radius/2 with a +-2-cell scan window: the scanned area
+  // per query drops to (5/6)^D of radius-sized cells' 3^D neighborhood.
+  // Fall back to radius-sized cells (+-1 window) when the region or the
+  // budget cannot fit at least five fine cells per axis.
+  const auto fine_per_axis = static_cast<std::size_t>(2.0 * side_ / radius_);
+  if (std::min(fine_per_axis, max_per_axis) >= 5) {
+    cells_per_axis_ = std::min(fine_per_axis, max_per_axis);
+    near_window_ = 2;
+  } else {
+    cells_per_axis_ = static_cast<std::size_t>(side_ / radius_);
+    cells_per_axis_ = std::max<std::size_t>(1, std::min(cells_per_axis_, max_per_axis));
+    near_window_ = 1;
+  }
+  cell_size_ = side_ / static_cast<double>(cells_per_axis_);
+  MANET_ENSURE(cells_per_axis_ == 1 ||
+               cell_size_ * near_window_ >= radius_ * (1.0 - 1e-12));
+
+  total_cells_ = 1;
+  for (int i = 0; i < D; ++i) total_cells_ *= cells_per_axis_;
+  // Reserve the budget cap up front: a radius shrink refines the cells, and
+  // growing these on a warm advance() would break the zero-steady-state-
+  // allocation discipline.
+  std::size_t max_total_cells = 1;
+  for (int i = 0; i < D; ++i) max_total_cells *= max_per_axis;
+  cell_start_.reserve(max_total_cells + 1);
+  cell_cursor_.reserve(max_total_cells);
+  cell_of_.resize(n_);
+  cell_start_.resize(total_cells_ + 1);
+  cell_cursor_.resize(total_cells_);
+  cell_ids_.resize(n_);
+  for (std::size_t p = 0; p < n_; ++p) cell_of_[p] = flat_index(cell_coords(points[p]));
+}
+
+template <int D>
+void KineticEmstEngine<D>::build_cell_snapshot() {
+  // Counting sort of cell_of_ into CSR form. Ids come out ascending within
+  // each cell, but the order is immaterial: it only affects the order edges
+  // are *collected* in, and every collected batch is sorted by the strict
+  // (d2, u, v) key before use.
+  std::fill(cell_start_.begin(), cell_start_.end(), 0u);
+  for (std::size_t p = 0; p < n_; ++p) ++cell_start_[cell_of_[p] + 1];
+  for (std::size_t c = 0; c < total_cells_; ++c) cell_start_[c + 1] += cell_start_[c];
+  std::memcpy(cell_cursor_.data(), cell_start_.data(),
+              total_cells_ * sizeof(std::uint32_t));
+  for (std::size_t p = 0; p < n_; ++p) {
+    cell_ids_[cell_cursor_[cell_of_[p]]++] = static_cast<std::uint32_t>(p);
+  }
+}
+
+template <int D>
+template <bool Torus, typename Fn>
+void KineticEmstEngine<D>::for_each_near(std::span<const Point<D>> points, std::uint32_t i,
+                                         Fn&& fn) const {
+  const int w = near_window_;
+  if (Torus && cells_per_axis_ < static_cast<std::size_t>(2 * w + 1)) {
+    // Wrapped +-w offsets alias below 2w+1 cells per axis (the same
+    // breakdown CellGrid's torus fallback handles): scan everything.
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      if (j != i) fn(j);
+    }
+    return;
+  }
+  const auto center = cell_coords(points[i]);
+  std::array<int, D> offset{};
+  offset.fill(-w);
+  for (;;) {
+    std::array<std::size_t, D> other{};
+    bool in_grid = true;
+    for (int a = 0; a < D; ++a) {
+      auto shifted = static_cast<long long>(center[a]) + offset[a];
+      if constexpr (Torus) {
+        const auto cells = static_cast<long long>(cells_per_axis_);
+        if (shifted < 0) shifted += cells;
+        if (shifted >= cells) shifted -= cells;
+      } else {
+        if (shifted < 0 || shifted >= static_cast<long long>(cells_per_axis_)) {
+          in_grid = false;
+          break;
+        }
+      }
+      other[a] = static_cast<std::size_t>(shifted);
+    }
+    if (in_grid) {
+      const std::size_t cell = flat_index(other);
+      const std::uint32_t* id = cell_ids_.data() + cell_start_[cell];
+      const std::uint32_t* const id_end = cell_ids_.data() + cell_start_[cell + 1];
+      for (; id != id_end; ++id) {
+        if (*id != i) fn(*id);
+      }
+    }
+    int axis = 0;
+    while (axis < D) {
+      if (++offset[axis] <= w) break;
+      offset[axis] = -w;
+      ++axis;
+    }
+    if (axis == D) break;
+  }
+}
+
+template <int D>
+void KineticEmstEngine<D>::sort_candidates(std::vector<Candidate>& a, double d2_bound) {
+  const std::size_t size = a.size();
+  if (size < kRadixCutoff) {
+    std::sort(a.begin(), a.end(), [](const Candidate& x, const Candidate& y) {
+      return candidate_less(x.d2, x.u, x.v, y.d2, y.u, y.v);
+    });
+    return;
+  }
+
+  // Stable LSD radix on a monotone 32-bit rescaling of d2: every candidate
+  // satisfies 0 <= d2 <= d2_bound, so key = floor(d2 * 2^32 / d2_bound') is
+  // a non-decreasing map into [0, 2^32) (double multiplication rounds
+  // monotonically, the product stays far below 2^53) and three 11-bit digit
+  // passes order it. Distinct d2 may collide on a key (~n^2/2^32 expected
+  // collisions); the repair scan below re-sorts equal-key runs with the
+  // exact (d2, u, v) comparator, which also puts equal-d2 duplicates into
+  // (u, v) order — so the result is exactly the unique std::sort sequence,
+  // at roughly half the scatter traffic of a full 64-bit-key radix.
+  MANET_EXPECTS(d2_bound > 0.0);
+  const double scale = 4294967296.0 / (d2_bound * (1.0 + 1e-9));
+  const auto key_of = [scale](const Candidate& c) noexcept {
+    return static_cast<std::uint32_t>(c.d2 * scale);
+  };
+
+  constexpr int kDigits = 3;  // 3 x 11 bits covers the 32-bit key
+  constexpr int kDigitBits = 11;
+  constexpr std::uint32_t kDigitMask = (1u << kDigitBits) - 1;
+  std::array<std::uint32_t, kDigits << kDigitBits> hist{};
+  for (const Candidate& c : a) {
+    const std::uint32_t key = key_of(c);
+    for (int d = 0; d < kDigits; ++d)
+      ++hist[(d << kDigitBits) + ((key >> (kDigitBits * d)) & kDigitMask)];
+  }
+
+  radix_tmp_.resize(size);
+  Candidate* src = a.data();
+  Candidate* dst = radix_tmp_.data();
+  for (int pos = 0; pos < kDigits; ++pos) {
+    std::uint32_t* counts = hist.data() + (pos << kDigitBits);
+    // All elements share this digit: the scatter would be the identity.
+    bool trivial = false;
+    for (std::size_t b = 0; b <= kDigitMask; ++b) {
+      if (counts[b] == size) {
+        trivial = true;
+        break;
+      }
+      if (counts[b] != 0) break;
+    }
+    if (trivial) continue;
+    std::uint32_t offset = 0;
+    for (std::size_t b = 0; b <= kDigitMask; ++b) {
+      const std::uint32_t count = counts[b];
+      counts[b] = offset;
+      offset += count;
+    }
+    const int shift = kDigitBits * pos;
+    for (std::size_t i = 0; i < size; ++i) {
+      dst[counts[(key_of(src[i]) >> shift) & kDigitMask]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != a.data()) a.swap(radix_tmp_);
+
+  // Repair equal-key runs (key collisions and genuine d2 ties) with the
+  // exact comparator. Runs are almost always length 1: one linear scan.
+  std::size_t i = 0;
+  while (i < size) {
+    std::size_t j = i + 1;
+    while (j < size && key_of(a[j]) == key_of(a[i])) ++j;
+    if (j - i > 1) {
+      std::sort(a.begin() + static_cast<std::ptrdiff_t>(i),
+                a.begin() + static_cast<std::ptrdiff_t>(j),
+                [](const Candidate& x, const Candidate& y) {
+                  return candidate_less(x.d2, x.u, x.v, y.d2, y.u, y.v);
+                });
+    }
+    i = j;
+  }
+}
+
+template <int D>
+bool KineticEmstEngine<D>::run_kruskal() {
+  dsu_.reset(n_);
+  mst_.clear();
+  for (const Candidate& c : edges_) {
+    if (dsu_.unite(c.u, c.v)) {
+      mst_.push_back({c.u, c.v, covering_radius(c.d2)});
+      if (mst_.size() + 1 == n_) return true;
+    }
+  }
+  return mst_.size() + 1 == n_;
+}
+
+template <int D>
+template <bool Torus>
+void KineticEmstEngine<D>::full_rebuild(std::span<const Point<D>> points,
+                                        double start_radius) {
+  ++stats_.full_rebuilds;
+  kinetic_metrics().rebuilds.increment();
+  const double r_max = (Torus ? 0.5 : 1.0) * side_ * std::sqrt(static_cast<double>(D));
+  MANET_EXPECTS(start_radius > 0.0);
+  double radius = std::min(start_radius, r_max);
+  const Box<D> box(side_);
+  for (;;) {
+    grid_.rebuild(points, box, radius);
+    MANET_INVARIANT(radius <= grid_.max_query_radius());
+    edges_.clear();
+    const auto collect = [this](std::size_t i, std::size_t j, double d2) {
+      edges_.push_back({d2, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+    };
+    if constexpr (Torus) {
+      grid_.for_each_torus_pair_within(radius, collect);
+    } else {
+      grid_.for_each_pair_within(radius, collect);
+    }
+    sort_candidates(edges_, radius * radius);
+    if (run_kruskal()) break;
+    MANET_INVARIANT(radius < r_max);  // the complete graph always spans
+    radius = std::min(radius * 2.0, r_max);
+    ++stats_.radius_growths;
+    kinetic_metrics().growths.increment();
+  }
+
+  // Retighten: a doubling overshoot (or an inflated caller radius) would
+  // otherwise fix the candidate-set size — and with it the cost of every
+  // subsequent filter/merge/Kruskal pass — until the next rebuild. The pool
+  // is sorted by (d2, u, v), so the pairs within the snug radius are exactly
+  // a prefix: truncation, no re-enumeration. The tree is unaffected because
+  // every accepted edge has weight <= bottleneck <= the snug radius.
+  const double bottleneck = mst_.empty() ? 0.0 : mst_.back().weight;
+  if (bottleneck > 0.0) {
+    const double snug = kShrinkTarget * bottleneck;
+    if (snug < radius) {
+      radius = snug;
+      const auto first_outside = std::upper_bound(
+          edges_.begin(), edges_.end(), radius * radius,
+          [](double r2, const Candidate& c) { return r2 < c.d2; });
+      edges_.erase(first_outside, edges_.end());
+    }
+  }
+
+  radius_ = radius;
+  r2_ = radius * radius;
+  rebuild_kinetic_grid(points);
+  prev_points_.assign(points.begin(), points.end());
+  shrink_streak_ = 0;
+  stats_.radius = radius_;
+  stats_.candidate_edges = edges_.size();
+}
+
+template <int D>
+template <bool Torus>
+void KineticEmstEngine<D>::maybe_shrink(std::span<const Point<D>> points) {
+  // When the maintained radius sits above the bottleneck's snug margin for a
+  // sustained stretch (after a growth spike, an initial radius sized for a
+  // sparser configuration, or a drift-down of the bottleneck itself), the
+  // candidate set is ~(R/b)^D times larger than needed. Shrinking needs no
+  // rebuild: the pool is sorted by d2, so the snug pool is exactly a prefix
+  // — truncate it and re-derive the cell geometry for the smaller radius,
+  // O(n) in total. The patience hysteresis keeps bottleneck jitter from
+  // alternating cheap shrinks with expensive growth rebuilds.
+  const double bottleneck = mst_.empty() ? 0.0 : mst_.back().weight;
+  const double snug = kShrinkTarget * bottleneck;
+  if (bottleneck > 0.0 && radius_ > kShrinkTrigger * snug) {
+    if (++shrink_streak_ >= kShrinkPatience) {
+      ++stats_.radius_shrinks;
+      kinetic_metrics().shrinks.increment();
+      radius_ = snug;
+      r2_ = snug * snug;
+      const auto first_outside = std::upper_bound(
+          edges_.begin(), edges_.end(), r2_,
+          [](double r2, const Candidate& c) { return r2 < c.d2; });
+      edges_.resize(static_cast<std::size_t>(first_outside - edges_.begin()));
+      stats_.candidate_edges = edges_.size();
+      stats_.radius = radius_;
+      rebuild_kinetic_grid(points);
+      shrink_streak_ = 0;
+    }
+  } else {
+    shrink_streak_ = 0;
+  }
+}
+
+template <int D>
+template <bool Torus>
+std::span<const WeightedEdge> KineticEmstEngine<D>::start_impl(
+    std::span<const Point<D>> points, double side) {
+  MANET_EXPECTS(side > 0.0);
+  if (points.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError("KineticEmstEngine: more than 2^32 points are not supported");
+  }
+  kinetic_metrics().traces.increment();
+  started_ = true;
+  torus_ = Torus;
+  side_ = side;
+  n_ = points.size();
+  stats_ = {};
+  shrink_streak_ = 0;
+
+  const double r0 = emst_initial_radius<D>(n_, side_);
+  dense_mode_ = n_ < kDenseCutoff || r0 >= 0.5 * side_;
+  stats_.dense_mode = dense_mode_;
+  if (dense_mode_) {
+    // Delegate to the batch engine wholesale: in the dense regime there is
+    // no grid work to repair, and running the identical code path is what
+    // makes dense results trivially bit-identical.
+    kinetic_metrics().dense.increment();
+    const Box<D> box(side_);
+    return Torus ? batch_.torus(points, side_) : batch_.euclidean(points, box);
+  }
+
+  moved_.clear();
+  moved_flag_.assign(n_, 0);
+  full_rebuild<Torus>(points, r0);
+  return mst_;
+}
+
+template <int D>
+template <bool Torus>
+std::span<const WeightedEdge> KineticEmstEngine<D>::advance_impl(
+    std::span<const Point<D>> points) {
+  ++stats_.steps;
+  kinetic_metrics().steps.increment();
+
+  if (dense_mode_) {
+    const Box<D> box(side_);
+    return Torus ? batch_.torus(points, side_) : batch_.euclidean(points, box);
+  }
+
+  // Pass 1: exact moved-node detection against the previous step.
+  moved_.clear();
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!(points[i] == prev_points_[i])) {
+      moved_.push_back(i);
+      moved_flag_[i] = 1;
+    }
+  }
+  stats_.last_moved = moved_.size();
+  stats_.last_superseded = 0;
+  stats_.last_delta = 0;
+  if (moved_.empty()) return mst_;  // nothing moved: the tree is still exact
+
+  // Pass 2: re-bin the nodes that crossed a cell boundary. (Harmless before
+  // the mass-move decision below: a rebuild re-derives every bin anyway.)
+  std::size_t crossings = 0;
+  for (const std::uint32_t i : moved_) {
+    const std::size_t new_cell = flat_index(cell_coords(points[i]));
+    if (new_cell != cell_of_[i]) {
+      cell_of_[i] = new_cell;
+      ++crossings;
+    }
+  }
+  stats_.boundary_crossings += crossings;
+
+  if (static_cast<double>(moved_.size()) >
+          kMassMoveFraction * static_cast<double>(n_) &&
+      static_cast<double>(crossings) >
+          kMassMoveFraction * static_cast<double>(moved_.size())) {
+    // Mostly-new configuration (teleport-scale moves: most nodes changed
+    // cell, so the maintained radius is stale too). When a mass move is
+    // sub-cell — every node drifting a little, as in a mobility model's
+    // start-up transient — the repair below stays cheaper than a rebuild:
+    // it re-derives the same pairs from bins that barely changed, with no
+    // grid reconstruction and no radius search.
+    for (const std::uint32_t i : moved_) moved_flag_[i] = 0;
+    ++stats_.mass_move_rebuilds;
+    full_rebuild<Torus>(points, radius_);
+    maybe_shrink<Torus>(points);
+    return mst_;
+  }
+
+  // Counting-sort the bins into the flat snapshot pass 3 scans.
+  build_cell_snapshot();
+
+  // Pass 3: re-derive every current mover-incident pair within the radius,
+  // one distance evaluation each. The pool entries these supersede are not
+  // touched here — the merge below already streams the whole pool, and the
+  // mover flags it tests live in an L1-resident byte array — so this scan
+  // needs no entering-vs-surviving distinction either (the repair invariant
+  // would make that an arithmetic test on the previous-step distance, but
+  // not making it at all is cheaper still). The cell neighborhood of a
+  // mover covers its radius ball, so the emitted set is exactly the pairs
+  // the pool must regain. Pairs of two moved nodes are emitted once, from
+  // the smaller id.
+  changed_.clear();
+  for (const std::uint32_t i : moved_) {
+    for_each_near<Torus>(points, i, [&](std::uint32_t j) {
+      if (moved_flag_[j] != 0 && j < i) return;
+      const double d2 = metric_d2(points[i], points[j], side_, Torus);
+      if (d2 > r2_) return;
+      changed_.push_back({d2, std::min(i, j), std::max(i, j)});
+    });
+  }
+  stats_.last_delta = changed_.size();
+
+  // Pass 4: sort the delta, then merge it with the surviving pool entries,
+  // dropping everything mover-incident (the delta holds its replacements).
+  // (d2, u, v) is a strict total order — (u, v) is unique per pair — so the
+  // merged sequence equals the from-scratch sort bit for bit. Kruskal is
+  // fused into the merge: every emitted candidate is offered to the forest
+  // in order until the tree completes, which turns Kruskal's own full read
+  // of the pool into reuse of values this loop already holds in registers.
+  sort_candidates(changed_, r2_);
+  merged_.resize(edges_.size() + changed_.size());  // upper bound; trimmed below
+  dsu_.reset(n_);
+  mst_.clear();
+  std::size_t missing = n_ - 1;
+  const auto offer = [&](const Candidate& c) {
+    if (missing != 0 && dsu_.unite(c.u, c.v)) {
+      mst_.push_back({c.u, c.v, covering_radius(c.d2)});
+      --missing;
+    }
+  };
+  std::size_t out = 0;
+  std::size_t superseded = 0;
+  const Candidate* delta = changed_.data();
+  const Candidate* const delta_end = delta + changed_.size();
+  for (const Candidate& c : edges_) {
+    if ((moved_flag_[c.u] | moved_flag_[c.v]) != 0) {
+      ++superseded;
+      continue;
+    }
+    while (delta != delta_end &&
+           candidate_less(delta->d2, delta->u, delta->v, c.d2, c.u, c.v)) {
+      offer(*delta);
+      merged_[out++] = *delta++;
+    }
+    offer(c);
+    merged_[out++] = c;
+  }
+  while (delta != delta_end) {
+    offer(*delta);
+    merged_[out++] = *delta++;
+  }
+  merged_.resize(out);
+  edges_.swap(merged_);
+  stats_.last_superseded = superseded;
+  stats_.candidate_edges = edges_.size();
+  for (const std::uint32_t i : moved_) {
+    moved_flag_[i] = 0;
+    prev_points_[i] = points[i];
+  }
+
+  // A non-spanning candidate graph violates the "radius covers the
+  // bottleneck" assumption: grow batch-style.
+  if (missing == 0) {
+    ++stats_.incremental_repairs;
+    kinetic_metrics().incremental.increment();
+  } else {
+    ++stats_.radius_growths;
+    kinetic_metrics().growths.increment();
+    full_rebuild<Torus>(points, radius_ * 2.0);
+  }
+  maybe_shrink<Torus>(points);
+  return mst_;
+}
+
+template <int D>
+std::span<const WeightedEdge> KineticEmstEngine<D>::start(std::span<const Point<D>> points,
+                                                          const Box<D>& box) {
+  return start_impl<false>(points, box.side());
+}
+
+template <int D>
+std::span<const WeightedEdge> KineticEmstEngine<D>::start_torus(
+    std::span<const Point<D>> points, double side) {
+  return start_impl<true>(points, side);
+}
+
+template <int D>
+std::span<const WeightedEdge> KineticEmstEngine<D>::advance(
+    std::span<const Point<D>> points) {
+  MANET_EXPECTS(started_);
+  MANET_EXPECTS(points.size() == n_);
+  return torus_ ? advance_impl<true>(points) : advance_impl<false>(points);
+}
+
+template class KineticEmstEngine<1>;
+template class KineticEmstEngine<2>;
+template class KineticEmstEngine<3>;
+
+}  // namespace manet

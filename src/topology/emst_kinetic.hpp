@@ -1,0 +1,280 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/cell_grid.hpp"
+#include "geometry/point.hpp"
+#include "geometry/torus.hpp"
+#include "topology/emst_grid.hpp"
+#include "topology/mst.hpp"
+
+namespace manet {
+
+/// Cumulative per-trace diagnostics of the kinetic engine, exposed for
+/// bench/perf_kinetic.cpp and the kinetic test layer. Reset by start().
+struct KineticStats {
+  std::size_t steps = 0;               ///< advance() calls since start()
+  std::size_t incremental_repairs = 0; ///< steps served by the delta path
+  std::size_t full_rebuilds = 0;       ///< batch-style rebuilds (incl. start)
+  std::size_t radius_growths = 0;      ///< rebuilds forced by a non-spanning candidate graph
+  std::size_t radius_shrinks = 0;      ///< hysteresis-triggered radius reductions
+  std::size_t mass_move_rebuilds = 0;  ///< rebuilds because most nodes moved at once
+  std::size_t boundary_crossings = 0;  ///< cell-grid relinks of moved points
+  std::size_t last_moved = 0;          ///< nodes that moved in the latest step
+  std::size_t last_superseded = 0;     ///< mover-incident pool entries dropped in the latest step
+  std::size_t last_delta = 0;          ///< mover-incident pairs re-derived by the latest cell scan
+  std::size_t candidate_edges = 0;     ///< current candidate-set size
+  double radius = 0.0;                 ///< maintained candidate radius
+  bool dense_mode = false;             ///< trace is served by the embedded batch engine
+};
+
+/// Selects which engine run_mobile_trace drives (sim/mobile_trace.hpp).
+/// kAuto defers to the process-wide kinetic_enabled() switch; the explicit
+/// values exist so the differential tests can force either path regardless
+/// of the environment.
+enum class TraceEngine { kAuto, kBatch, kKinetic };
+
+/// Overrides for kinetic_enabled(); kFromEnvironment (the default) re-reads
+/// the MANET_KINETIC decision.
+enum class KineticMode { kFromEnvironment, kForceOn, kForceOff };
+
+/// True when mobile traces should run the kinetic engine. Defaults to ON;
+/// the MANET_KINETIC environment variable (read once: "0"/"off"/"false"
+/// disables) and set_kinetic_mode override it. Because the kinetic engine is
+/// bit-identical to the batch engine, this switch can never change a result
+/// — only how fast it is computed.
+bool kinetic_enabled() noexcept;
+
+/// Programmatic override for tests and benches. Call it from a single thread
+/// while no traces are running (the switch is engine *selection*, consulted
+/// once per trace).
+void set_kinetic_mode(KineticMode mode) noexcept;
+
+/// Kinetic (incremental) Euclidean/torus MST engine for mobile traces: the
+/// temporal-coherence counterpart of the batch EmstEngine. A mobility step
+/// moves each node by at most m (drunkard) or v_max*dt (waypoint), so
+/// between consecutive steps almost all cell-grid bins and almost all
+/// candidate edges are unchanged; the engine repairs both instead of
+/// rebuilding them.
+///
+/// Per advance() the engine
+///   1. detects moved nodes by exact coordinate comparison with the previous
+///      step,
+///   2. re-bins the nodes that crossed a cell boundary (an O(1) cell-index
+///      update per crossing) and counting-sorts the bins into a flat
+///      start/ids snapshot — O(n + cells), a few microseconds, and the
+///      neighborhood scans below then run over contiguous memory instead of
+///      chasing per-node links,
+///   3. repairs the candidate-edge set under the REPAIR INVARIANT — the set
+///      holds exactly the pairs within the maintained radius R, in (d2, u, v)
+///      order: edges with two unmoved endpoints keep their distance and
+///      their relative order; every edge touching a moved node is dropped,
+///      and the cell neighborhood of each moved node (which covers its
+///      radius ball) is scanned once to re-derive all its current in-radius
+///      pairs — one distance evaluation per nearby pair, with no
+///      entering-vs-surviving distinction to test, and
+///   4. re-runs filtered Kruskal over the repaired set (already sorted, so
+///      no per-step O(k log k) sort).
+///
+/// Fallbacks rebuild batch-style (full enumeration + sort at a doubling
+/// radius) whenever the invariant cannot be repaired cheaply: the candidate
+/// graph stops spanning (the radius must grow), most nodes crossed cell
+/// boundaries at once (teleports, fresh deployments), or the radius is far above the
+/// current bottleneck for long enough (hysteresis shrink). Dense regimes
+/// (n < kDenseCutoff, or an initial radius a large fraction of the region)
+/// delegate every call to an embedded batch EmstEngine.
+///
+/// BIT-IDENTITY: filtered Kruskal under the strict total order (d2, u, v)
+/// accepts a *unique* spanning tree, and any candidate set that contains all
+/// pairs within a spanning radius yields that same tree (every full-MST edge
+/// weighs at most the bottleneck <= R). Both engines compute distances with
+/// the identical squared_distance / torus_squared_distance + covering_radius
+/// arithmetic, so the kinetic tree — edges, order, and weight bits — equals
+/// the batch tree on every step, and everything derived from it (bottleneck,
+/// weight multiset, breakpoint curves, MTRM checksums) is bit-identical.
+/// tests/kinetic_differential_test.cpp pins this, including the PR 2/4
+/// golden FNV-1a checksums through the kinetic path.
+///
+/// Allocation discipline: all buffers are pooled; after warm-up an advance()
+/// performs ZERO steady-state heap allocations (tests/alloc_discipline_test
+/// pins 0, one stricter than the batch path's rebuild-reuse). Not
+/// thread-safe; one engine per concurrent trace (sim/trace_workspace.hpp).
+template <int D>
+class KineticEmstEngine {
+ public:
+  /// Same dense cutoff as the batch engine, so both select the dense path on
+  /// exactly the same inputs.
+  static constexpr std::size_t kDenseCutoff = EmstEngine<D>::kDenseCutoff;
+
+  KineticEmstEngine() = default;
+  KineticEmstEngine(const KineticEmstEngine&) = delete;
+  KineticEmstEngine& operator=(const KineticEmstEngine&) = delete;
+
+  /// Begins a Euclidean-metric trace: full build over `points` (all inside
+  /// `box`). Returns the n-1 MST edges sorted ascending by weight (empty for
+  /// n <= 1), valid until the next call on this engine.
+  std::span<const WeightedEdge> start(std::span<const Point<D>> points, const Box<D>& box);
+
+  /// Begins a trace under the flat-torus metric on [0, side]^D.
+  std::span<const WeightedEdge> start_torus(std::span<const Point<D>> points, double side);
+
+  /// Advances the current trace one mobility step: `points` are the same
+  /// nodes at their new positions (same size, same region). Same return
+  /// contract as start(). Requires a preceding start()/start_torus().
+  std::span<const WeightedEdge> advance(std::span<const Point<D>> points);
+
+  const KineticStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Same layout and sort key as EmstEngine's candidate.
+  struct Candidate {
+    double d2;
+    std::uint32_t u;
+    std::uint32_t v;
+  };
+
+  /// Mass-move rebuild threshold, applied twice: more than this fraction of
+  /// nodes moved AND more than this fraction of the movers changed cell.
+  /// Both at once mean teleport-scale displacement (the maintained radius
+  /// is stale and the bins are mostly wrong); a sub-cell mass move — every
+  /// node drifting a little — repairs cheaper than it rebuilds.
+  static constexpr double kMassMoveFraction = 0.5;
+  /// Hysteresis shrink: truncate the pool to kShrinkTarget * bottleneck
+  /// (a sorted-prefix cut, no rebuild) after kShrinkPatience consecutive
+  /// steps with radius > kShrinkTrigger * that snug radius. The target
+  /// margin sizes the steady-state candidate set (~target^D times the
+  /// spanning minimum), so every O(E) repair pass scales with it; the snug
+  /// 1.05 measures substantially faster than looser margins and still
+  /// absorbs the bottleneck's typical step-to-step drift — a step where the
+  /// bottleneck outruns the margin is caught by Kruskal failing to span and
+  /// only costs that one batch-style rebuild. The trigger tolerates modest
+  /// overshoot (shrinking on every bottleneck wiggle would invite growth
+  /// rebuilds right back); the patience filters transient dips.
+  static constexpr double kShrinkTrigger = 1.1;
+  static constexpr double kShrinkTarget = 1.05;
+  static constexpr std::size_t kShrinkPatience = 4;
+  /// Below this size the comparator sort beats the radix passes' fixed costs.
+  static constexpr std::size_t kRadixCutoff = 64;
+
+  template <bool Torus>
+  std::span<const WeightedEdge> start_impl(std::span<const Point<D>> points, double side);
+  template <bool Torus>
+  std::span<const WeightedEdge> advance_impl(std::span<const Point<D>> points);
+  /// Batch-style rebuild: enumerate + sort + Kruskal at a doubling radius
+  /// starting from `start_radius`, then rebuild the kinetic cell grid and
+  /// re-baseline prev_points_.
+  template <bool Torus>
+  void full_rebuild(std::span<const Point<D>> points, double start_radius);
+  /// Kruskal over the (sorted) candidate set; true when the tree spans.
+  bool run_kruskal();
+  /// Sorts candidates into the strict (d2, u, v) total order via a stable
+  /// LSD radix on a monotone 32-bit rescaling of d2 (every candidate
+  /// satisfies d2 <= d2_bound), then repairs equal-key runs with the exact
+  /// comparator. The result is exactly the unique std::sort sequence. Uses
+  /// the pooled radix_tmp_ scratch buffer.
+  void sort_candidates(std::vector<Candidate>& a, double d2_bound);
+  /// Applies the post-step radius hysteresis; may trigger a shrink rebuild.
+  template <bool Torus>
+  void maybe_shrink(std::span<const Point<D>> points);
+
+  // -- cell binning over the *current* positions ---------------------------
+  void rebuild_kinetic_grid(std::span<const Point<D>> points);
+  std::array<std::size_t, D> cell_coords(const Point<D>& p) const noexcept;
+  std::size_t flat_index(const std::array<std::size_t, D>& c) const noexcept;
+  /// Counting-sorts cell_of_ into the flat cell_start_/cell_ids_ snapshot
+  /// consumed by for_each_near. O(n + cells) per step.
+  void build_cell_snapshot();
+  /// Visits every node j != i whose cell is within the (2w+1)^D neighborhood
+  /// of i's (current-position) cell, where w = near_window_ satisfies
+  /// w * cell_size_ >= radius_ — a superset of all nodes within the
+  /// maintained radius. Cells are sized ~radius/2 (w = 2) when the region
+  /// allows, which over-scans ~(2.5/3)^D less area than radius-sized cells.
+  /// Torus grids too coarse for wrap-distinct neighbor cells
+  /// (cells_per_axis < 2w+1) scan all nodes instead.
+  template <bool Torus, typename Fn>
+  void for_each_near(std::span<const Point<D>> points, std::uint32_t i, Fn&& fn) const;
+
+  static double metric_d2(const Point<D>& a, const Point<D>& b, double side, bool torus) noexcept {
+    return torus ? torus_squared_distance(a, b, side) : squared_distance(a, b);
+  }
+
+  // Trace configuration.
+  bool started_ = false;
+  bool torus_ = false;
+  bool dense_mode_ = false;
+  double side_ = 0.0;
+  std::size_t n_ = 0;
+
+  // Maintained candidate radius (repair invariant: edges_ holds exactly the
+  // pairs with d2 <= r2_ at prev_points_, sorted by (d2, u, v)).
+  double radius_ = 0.0;
+  double r2_ = 0.0;
+  std::size_t shrink_streak_ = 0;
+
+  // Cell binning (geometry mirrors CellGrid's clamping). cell_of_ is the
+  // maintained state — pass 2 updates it in O(1) per boundary crossing —
+  // and cell_start_/cell_ids_ are its per-step counting-sort snapshot
+  // (CSR layout: ids of cell c live at [cell_start_[c], cell_start_[c+1])).
+  double cell_size_ = 0.0;
+  std::size_t cells_per_axis_ = 0;
+  std::size_t total_cells_ = 0;
+  int near_window_ = 1;  ///< neighbor-cell half-window; near_window_ * cell_size_ >= radius_
+  std::vector<std::size_t> cell_of_;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_cursor_;
+  std::vector<std::uint32_t> cell_ids_;
+
+  CellGrid<D> grid_;     ///< full-rebuild enumeration only
+  EmstEngine<D> batch_;  ///< dense-mode delegate (identical dense code path)
+
+  std::vector<Point<D>> prev_points_;
+  std::vector<Candidate> edges_;    ///< the invariant candidate set
+  std::vector<Candidate> changed_;  ///< recomputed + entering edges, sorted per step
+  std::vector<Candidate> merged_;   ///< merge target, swapped with edges_
+  std::vector<Candidate> radix_tmp_;  ///< scatter scratch for sort_candidates
+  std::vector<std::uint32_t> moved_;
+  std::vector<char> moved_flag_;
+
+  /// Union-by-size forest with path halving, specialized for the per-step
+  /// Kruskal loop: 32-bit ids keep both arrays L1-sized (graph/union_find.hpp
+  /// stores size_t), and the component-count bookkeeping Kruskal never reads
+  /// is omitted. Acceptance decisions depend only on connectivity, so the
+  /// resulting tree is identical to one built over any other union-find.
+  struct KruskalForest {
+    std::vector<std::uint32_t> parent;
+    std::vector<std::uint32_t> size;
+
+    void reset(std::size_t n) {
+      parent.resize(n);
+      size.assign(n, 1);
+      for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+    }
+    std::uint32_t find(std::uint32_t x) noexcept {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];  // path halving
+        x = parent[x];
+      }
+      return x;
+    }
+    bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+      a = find(a);
+      b = find(b);
+      if (a == b) return false;
+      if (size[a] < size[b]) std::swap(a, b);
+      parent[b] = a;
+      size[a] += size[b];
+      return true;
+    }
+  };
+  KruskalForest dsu_;
+  std::vector<WeightedEdge> mst_;
+  KineticStats stats_;
+};
+
+}  // namespace manet

@@ -16,9 +16,11 @@
 
 #include "geometry/box.hpp"
 #include "mobility/factory.hpp"
+#include "sim/deployment.hpp"
 #include "sim/mobile_trace.hpp"
 #include "sim/trace_workspace.hpp"
 #include "support/rng.hpp"
+#include "topology/emst_kinetic.hpp"
 
 namespace {
 
@@ -74,8 +76,13 @@ TEST(AllocDiscipline, MobileTraceStepLoopIsConstantAllocationPerStep) {
 
   TraceWorkspace<2> workspace;
   // Warm-up: grows every pooled buffer (grid bins, candidate edges, DSU,
-  // breakpoint scratch, merge-event scratch) to steady-state capacity.
+  // breakpoint scratch, merge-event scratch) to steady-state capacity. Both
+  // lengths run once — the rare fallback steps (radius growth/shrink
+  // rebuilds) regrid at radii that depend on where in the trajectory the
+  // trace ends, so each length's first run can grow a pooled bin vector a
+  // few times before capacities cover its whole trajectory.
   count_trace_allocations(n, box, kLong, workspace);
+  count_trace_allocations(n, box, kShort, workspace);
 
   const std::size_t short_allocs = count_trace_allocations(n, box, kShort, workspace);
   const std::size_t long_allocs = count_trace_allocations(n, box, kLong, workspace);
@@ -91,6 +98,46 @@ TEST(AllocDiscipline, MobileTraceStepLoopIsConstantAllocationPerStep) {
   // (~64 here) that per-step buffer churn would cost.
   EXPECT_LE(per_step, 3.0) << "long=" << long_allocs << " short=" << short_allocs;
   EXPECT_GE(per_step, 1.0);
+}
+
+TEST(AllocDiscipline, KineticAdvanceMakesZeroSteadyStateAllocations) {
+  // The kinetic engine's discipline is stricter than the trace loop's: a
+  // warm advance() — incremental repair, no fallback — must perform ZERO
+  // heap allocations. Every buffer (grid lists, edge pool, merge scratch,
+  // DSU, retained tree) is preallocated and reused; the merge goes through
+  // the pooled merged_ buffer precisely because std::inplace_merge would
+  // allocate here.
+  const std::size_t n = 256;
+  const double side = 64.0;
+  const Box2 box(side);
+  MobilityConfig config = MobilityConfig::paper_waypoint(side);
+  config.waypoint.p_stationary = 0.5;  // incremental path, never mass-move
+  const auto model = make_mobility_model<2>(config, box);
+  Rng rng(0xA110C2ull);
+  auto positions = uniform_deployment(n, box, rng);
+  model->initialize(positions, rng);
+
+  KineticEmstEngine<2> kinetic;
+  kinetic.start(positions, box);
+  // Warm-up: grow all pooled buffers past their steady-state high-water
+  // marks (including a few radius-growth/shrink rebuilds if they happen).
+  for (int s = 0; s < 200; ++s) {
+    model->step(positions, rng);
+    kinetic.advance(positions);
+  }
+  ASSERT_FALSE(kinetic.stats().dense_mode);
+  const std::size_t repairs_before = kinetic.stats().incremental_repairs;
+
+  g_news = 0;
+  g_counting = true;
+  for (int s = 0; s < 200; ++s) {
+    model->step(positions, rng);
+    kinetic.advance(positions);
+  }
+  g_counting = false;
+  EXPECT_EQ(g_news, 0u) << "a warm kinetic advance() touched the heap";
+  EXPECT_GT(kinetic.stats().incremental_repairs, repairs_before)
+      << "measurement window never took the incremental path";
 }
 
 TEST(AllocDiscipline, RepeatedTracesOnWarmWorkspaceStayBounded) {

@@ -204,6 +204,64 @@ TEST(CellGrid, TorusPairsFallBackWhenFewerThanThreeCellsPerAxis) {
   EXPECT_EQ(grid_torus_pairs(points, grid, side, 4.5), brute_force_torus_pairs(points, side, 4.5));
 }
 
+TEST(CellGrid, TorusFallbackBoundaryAtExactlyOneTwoAndThreeCellsPerAxis) {
+  // The wrapped 3^D neighborhood is only sound at cells_per_axis >= 3; below
+  // that the implementation must take the all-pairs fallback. Pin the
+  // transition exactly: side 12 with radii 4.0 / 4.8 / 6.1 lands on 3, 2 and
+  // 1 cells per axis, and all three answers must match brute force.
+  Rng rng(26);
+  const double side = 12.0;
+  const Box2 box(side);
+  const auto points = uniform_deployment(40, box, rng);
+  struct Config {
+    double radius;
+    std::size_t expected_cells;
+  };
+  for (const auto& config : {Config{4.0, 3}, Config{4.8, 2}, Config{6.1, 1}}) {
+    const CellGrid<2> grid(points, box, config.radius);
+    ASSERT_EQ(grid.cells_per_axis(), config.expected_cells) << "radius=" << config.radius;
+    EXPECT_EQ(grid_torus_pairs(points, grid, side, config.radius),
+              brute_force_torus_pairs(points, side, config.radius))
+        << "radius=" << config.radius;
+  }
+}
+
+TEST(CellGrid, TorusSeamIsVisibleAtExactlyThreeCellsPerAxis) {
+  // cells_per_axis == 3 is the first configuration that trusts the wrapped
+  // neighborhood scan: a pair straddling the seam must still be found, and
+  // only once (at 3 cells, a cell's wrapped 3x3 neighborhood is the whole
+  // grid — maximal aliasing pressure on the dedup logic).
+  const double side = 12.0;
+  const Box2 box(side);
+  const std::vector<Point2> points = {
+      {{0.5, 6.0}}, {{11.5, 6.0}}, {{6.0, 0.5}}, {{6.0, 11.5}}, {{0.0, 0.0}}, {{12.0, 12.0}}};
+  const CellGrid<2> grid(points, box, 4.0);
+  ASSERT_EQ(grid.cells_per_axis(), 3u);
+  EXPECT_EQ(grid_torus_pairs(points, grid, side, 4.0),
+            brute_force_torus_pairs(points, side, 4.0));
+}
+
+TEST(CellGrid, RebuildInPlaceAcrossTheTorusFallbackBoundary) {
+  // A reused grid crossing the cells_per_axis < 3 boundary in both
+  // directions — exactly what the kinetic engine's doubling loop does when a
+  // radius growth coarsens the grid past the fallback threshold and a later
+  // shrink refines it back. Every rebuild must answer torus queries exactly.
+  Rng rng(27);
+  const double side = 12.0;
+  const Box2 box(side);
+  const auto points = uniform_deployment(35, box, rng);
+  CellGrid<2> grid;
+  for (const double radius : {4.0, 4.8, 6.1, 4.8, 4.0, 2.0, 6.1}) {
+    grid.rebuild(points, box, radius);
+    const CellGrid<2> fresh(points, box, radius);
+    EXPECT_EQ(grid.cells_per_axis(), fresh.cells_per_axis()) << "radius=" << radius;
+    EXPECT_EQ(grid.cell_size(), fresh.cell_size()) << "radius=" << radius;
+    EXPECT_EQ(grid_torus_pairs(points, grid, side, radius),
+              brute_force_torus_pairs(points, side, radius))
+        << "radius=" << radius;
+  }
+}
+
 TEST(CellGrid, RebuildMatchesFreshlyConstructedGrid) {
   Rng rng(24);
   const Box2 big(100.0);

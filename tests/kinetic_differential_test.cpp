@@ -1,0 +1,451 @@
+// Differential harness pinning the kinetic engine to the batch engine: on
+// every step of every trajectory, KineticEmstEngine must produce the SAME
+// tree as EmstEngine — same edges, same order, same weight bits — and
+// therefore the same bottleneck, weight multiset, breakpoint curve and
+// largest-component curve. The sweep covers D in {1,2,3}, waypoint and
+// drunkard mobility, box and torus metrics, clustered / duplicate /
+// boundary-straddling configurations, and the engine's fallback paths
+// (radius growth, mass cell-crossing steps, hysteresis shrink). The PR 2/4
+// golden MTRM checksums are re-pinned here through the forced kinetic path
+// at 1 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "graph/union_find.hpp"
+#include "mobility/factory.hpp"
+#include "sim/deployment.hpp"
+#include "sim/mobile_trace.hpp"
+#include "sim/trace_workspace.hpp"
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "topology/critical_range.hpp"
+#include "topology/emst_grid.hpp"
+#include "topology/emst_kinetic.hpp"
+#include "topology/mst.hpp"
+
+namespace manet {
+namespace {
+
+/// Restores the environment-driven engine selection on scope exit even when
+/// an assertion fails mid-test.
+struct KineticModeGuard {
+  ~KineticModeGuard() { set_kinetic_mode(KineticMode::kFromEnvironment); }
+};
+struct ParallelismGuard {
+  ~ParallelismGuard() { set_max_parallelism(0); }
+};
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The strongest possible comparison: the kinetic tree must equal the batch
+/// tree element-wise — endpoints AND weight bit patterns — because both run
+/// filtered Kruskal under the same strict (d2, u, v) total order (dense
+/// inputs are delegated to the identical batch code).
+void expect_trees_identical(std::span<const WeightedEdge> batch,
+                            std::span<const WeightedEdge> kinetic, std::size_t step) {
+  ASSERT_EQ(batch.size(), kinetic.size()) << "step " << step;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].u, kinetic[i].u) << "step " << step << " edge " << i;
+    EXPECT_EQ(batch[i].v, kinetic[i].v) << "step " << step << " edge " << i;
+    EXPECT_TRUE(bits_equal(batch[i].weight, kinetic[i].weight))
+        << "step " << step << " edge " << i << ": " << batch[i].weight
+        << " != " << kinetic[i].weight;
+  }
+  if (!batch.empty()) {
+    EXPECT_TRUE(bits_equal(tree_bottleneck(batch), tree_bottleneck(kinetic)));
+  }
+}
+
+/// Breakpoint curves from both trees must agree bit-for-bit as well (the
+/// quantity every MTRM statistic is derived from).
+template <int D>
+void expect_curves_identical(std::size_t n, std::span<const WeightedEdge> batch,
+                             std::span<const WeightedEdge> kinetic, std::size_t step) {
+  UnionFind dsu(0);
+  std::vector<LargestComponentCurve::Breakpoint> scratch;
+  const LargestComponentCurve batch_curve(n, batch, dsu, scratch);
+  const LargestComponentCurve kinetic_curve(n, kinetic, dsu, scratch);
+  const auto b = batch_curve.breakpoints();
+  const auto k = kinetic_curve.breakpoints();
+  ASSERT_EQ(b.size(), k.size()) << "step " << step;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(bits_equal(b[i].range, k[i].range)) << "step " << step;
+    EXPECT_EQ(b[i].size, k[i].size) << "step " << step;
+  }
+}
+
+/// Drives one mobility trajectory through both engines, comparing every
+/// step. Returns the kinetic stats for fallback-path assertions.
+template <int D>
+KineticStats run_differential_trace(std::size_t n, double side, const MobilityConfig& mobility,
+                                    bool torus, std::size_t steps, std::uint64_t seed) {
+  const Box<D> box(side);
+  Rng rng(seed);
+  auto positions = uniform_deployment(n, box, rng);
+  const auto model = make_mobility_model<D>(mobility, box);
+  model->initialize(positions, rng);
+
+  EmstEngine<D> batch;
+  KineticEmstEngine<D> kinetic;
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (s > 0) model->step(positions, rng);
+    const auto batch_tree = torus ? batch.torus(positions, side) : batch.euclidean(positions, box);
+    const auto kinetic_tree = s == 0 ? (torus ? kinetic.start_torus(positions, side)
+                                              : kinetic.start(positions, box))
+                                     : kinetic.advance(positions);
+    expect_trees_identical(batch_tree, kinetic_tree, s);
+    expect_curves_identical<D>(n, batch_tree, kinetic_tree, s);
+  }
+  return kinetic.stats();
+}
+
+/// A fast waypoint setup (relative to the paper's gentle defaults) so nodes
+/// cross cell boundaries every few steps.
+MobilityConfig fast_waypoint(double side) {
+  MobilityConfig config;
+  config.kind = MobilityKind::kRandomWaypoint;
+  config.waypoint.v_min = 0.01 * side;
+  config.waypoint.v_max = 0.08 * side;
+  config.waypoint.pause_steps = 3;
+  config.waypoint.p_stationary = 0.1;
+  return config;
+}
+
+MobilityConfig fast_drunkard(double side) {
+  MobilityConfig config;
+  config.kind = MobilityKind::kDrunkard;
+  config.drunkard.step_radius = 0.05 * side;
+  config.drunkard.p_pause = 0.2;
+  config.drunkard.p_stationary = 0.1;
+  return config;
+}
+
+/// Sparse motion: most nodes permanently parked, the movers still fast. The
+/// per-step moved fraction stays well under the engine's mass-move
+/// threshold, so steps take the INCREMENTAL repair path — the configuration
+/// for tests asserting incremental stats.
+MobilityConfig sparse_waypoint(double side) {
+  MobilityConfig config = fast_waypoint(side);
+  config.waypoint.p_stationary = 0.75;
+  return config;
+}
+
+MobilityConfig sparse_drunkard(double side) {
+  MobilityConfig config = fast_drunkard(side);
+  config.drunkard.p_stationary = 0.75;
+  return config;
+}
+
+TEST(KineticDifferential, WaypointBoxMatchesBatch1D) {
+  run_differential_trace<1>(128, 64.0, fast_waypoint(64.0), /*torus=*/false, 120, 11);
+}
+
+TEST(KineticDifferential, WaypointBoxMatchesBatch2D) {
+  run_differential_trace<2>(200, 64.0, fast_waypoint(64.0), /*torus=*/false, 120, 12);
+  const auto stats =
+      run_differential_trace<2>(200, 64.0, sparse_waypoint(64.0), /*torus=*/false, 120, 12);
+  EXPECT_FALSE(stats.dense_mode);
+  EXPECT_GT(stats.incremental_repairs, 0u);
+  EXPECT_GT(stats.boundary_crossings, 0u);
+}
+
+TEST(KineticDifferential, WaypointBoxMatchesBatch3D) {
+  run_differential_trace<3>(160, 32.0, fast_waypoint(32.0), /*torus=*/false, 80, 13);
+}
+
+TEST(KineticDifferential, DrunkardBoxMatchesBatch1D) {
+  run_differential_trace<1>(96, 48.0, fast_drunkard(48.0), /*torus=*/false, 120, 21);
+}
+
+TEST(KineticDifferential, DrunkardBoxMatchesBatch2D) {
+  run_differential_trace<2>(180, 64.0, fast_drunkard(64.0), /*torus=*/false, 120, 22);
+}
+
+TEST(KineticDifferential, DrunkardBoxMatchesBatch3D) {
+  run_differential_trace<3>(140, 24.0, fast_drunkard(24.0), /*torus=*/false, 80, 23);
+}
+
+TEST(KineticDifferential, PaperMobilityDefaultsMatchBatch2D) {
+  // The paper's own Section 4.2 parameters (gentle motion, long pauses):
+  // many steps move nothing or almost nothing — the degenerate-delta path.
+  run_differential_trace<2>(64, 256.0, MobilityConfig::paper_waypoint(256.0), false, 150, 31);
+  run_differential_trace<2>(64, 256.0, MobilityConfig::paper_drunkard(256.0), false, 150, 32);
+}
+
+TEST(KineticDifferential, TorusMatchesBatch2D) {
+  run_differential_trace<2>(200, 64.0, fast_drunkard(64.0), /*torus=*/true, 120, 41);
+  const auto stats =
+      run_differential_trace<2>(200, 64.0, sparse_drunkard(64.0), /*torus=*/true, 120, 41);
+  EXPECT_GT(stats.incremental_repairs, 0u);
+}
+
+TEST(KineticDifferential, TorusMatchesBatch1DAnd3D) {
+  run_differential_trace<1>(128, 64.0, fast_drunkard(64.0), /*torus=*/true, 100, 42);
+  run_differential_trace<3>(160, 24.0, fast_waypoint(24.0), /*torus=*/true, 80, 43);
+}
+
+TEST(KineticDifferential, ClusteredDeploymentForcesRadiusGrowthAndMatches) {
+  // Two tight clusters far apart: the connectivity-scale initial radius
+  // cannot bridge the gap, so the start() build must double — and when the
+  // clusters drift, the incremental path keeps operating at the grown
+  // radius. Drive positions directly to control the geometry.
+  const double side = 200.0;
+  const Box2 box(side);
+  Rng rng(51);
+  std::vector<Point2> positions;
+  for (std::size_t i = 0; i < 40; ++i) {
+    positions.push_back({{rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0)}});
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    positions.push_back({{rng.uniform(188.0, 200.0), rng.uniform(188.0, 200.0)}});
+  }
+
+  EmstEngine<2> batch;
+  KineticEmstEngine<2> kinetic;
+  expect_trees_identical(batch.euclidean(positions, box), kinetic.start(positions, box), 0);
+  EXPECT_GT(kinetic.stats().radius_growths, 0u);
+
+  for (std::size_t s = 1; s <= 40; ++s) {
+    for (auto& p : positions) {
+      p.coords[0] = std::clamp(p.coords[0] + rng.uniform(-1.0, 1.0), 0.0, side);
+      if (rng.uniform(0.0, 1.0) < 0.5) continue;  // keep some nodes parked
+      p.coords[1] = std::clamp(p.coords[1] + rng.uniform(-1.0, 1.0), 0.0, side);
+    }
+    expect_trees_identical(batch.euclidean(positions, box), kinetic.advance(positions), s);
+  }
+}
+
+TEST(KineticDifferential, StretchingGapForcesIncrementalRadiusGrowthAndMatches) {
+  // Start connected at the initial radius, then pull the two halves apart a
+  // little each step: eventually no candidate edge bridges the gap, the
+  // incremental Kruskal stops spanning mid-trace, and the engine must take
+  // the growth fallback without changing any result.
+  const double side = 400.0;
+  const Box2 box(side);
+  Rng rng(52);
+  std::vector<Point2> positions;
+  for (std::size_t i = 0; i < 80; ++i) {
+    positions.push_back({{rng.uniform(140.0, 260.0), rng.uniform(0.0, side)}});
+  }
+
+  EmstEngine<2> batch;
+  KineticEmstEngine<2> kinetic;
+  expect_trees_identical(batch.euclidean(positions, box), kinetic.start(positions, box), 0);
+  const std::size_t growths_at_start = kinetic.stats().radius_growths;
+
+  for (std::size_t s = 1; s <= 35; ++s) {
+    for (auto& p : positions) {
+      const double drift = p.coords[0] < 200.0 ? -4.0 : 4.0;
+      p.coords[0] = std::clamp(p.coords[0] + drift, 0.0, side);
+    }
+    expect_trees_identical(batch.euclidean(positions, box), kinetic.advance(positions), s);
+  }
+  EXPECT_GT(kinetic.stats().radius_growths, growths_at_start)
+      << "the separating halves never forced a mid-trace radius growth";
+}
+
+TEST(KineticDifferential, OutlierReturnTriggersHysteresisShrinkAndMatches) {
+  // One far outlier inflates the spanning radius at start(); after it walks
+  // back into the bulk, the maintained radius sits far above the bottleneck
+  // and the hysteresis shrink must fire — with bit-identical results before,
+  // during and after.
+  const double side = 300.0;
+  const Box2 box(side);
+  Rng rng(53);
+  std::vector<Point2> positions;
+  for (std::size_t i = 0; i < 64; ++i) {
+    positions.push_back({{rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0)}});
+  }
+  positions.push_back({{290.0, 290.0}});
+
+  EmstEngine<2> batch;
+  KineticEmstEngine<2> kinetic;
+  expect_trees_identical(batch.euclidean(positions, box), kinetic.start(positions, box), 0);
+  EXPECT_GT(kinetic.stats().radius_growths, 0u);
+
+  for (std::size_t s = 1; s <= 30; ++s) {
+    auto& outlier = positions.back();
+    outlier.coords[0] = std::max(30.0, outlier.coords[0] - 30.0);
+    outlier.coords[1] = std::max(30.0, outlier.coords[1] - 30.0);
+    // Jiggle a couple of bulk nodes so the steps are not no-ops.
+    for (std::size_t j = 0; j < 4; ++j) {
+      auto& p = positions[j];
+      p.coords[0] = std::clamp(p.coords[0] + rng.uniform(-0.5, 0.5), 0.0, side);
+    }
+    expect_trees_identical(batch.euclidean(positions, box), kinetic.advance(positions), s);
+  }
+  EXPECT_GT(kinetic.stats().radius_shrinks, 0u)
+      << "returning outlier never triggered the hysteresis shrink";
+}
+
+TEST(KineticDifferential, MassTeleportStepsFallBackAndMatch) {
+  // Fresh uniform positions every step: every node moves (waypoint-arrival /
+  // redeployment scale), which must take the mass-move rebuild path.
+  const double side = 64.0;
+  const Box2 box(side);
+  Rng rng(54);
+  auto positions = uniform_deployment(120, box, rng);
+
+  EmstEngine<2> batch;
+  KineticEmstEngine<2> kinetic;
+  expect_trees_identical(batch.euclidean(positions, box), kinetic.start(positions, box), 0);
+  for (std::size_t s = 1; s <= 25; ++s) {
+    positions = uniform_deployment(120, box, rng);
+    const auto b = batch.euclidean(positions, box);
+    const auto k = kinetic.advance(positions);
+    expect_trees_identical(b, k, s);
+    expect_curves_identical<2>(120, b, k, s);
+  }
+  EXPECT_GT(kinetic.stats().mass_move_rebuilds, 20u);
+}
+
+TEST(KineticDifferential, DuplicateAndBoundaryStraddlingPointsMatch) {
+  // Coincident nodes (zero-weight edges, maximal tie pressure on the
+  // (d2, u, v) order) and nodes pinned to the region boundary, moving on and
+  // off it — box and torus.
+  const double side = 50.0;
+  const Box2 box(side);
+  Rng rng(55);
+  std::vector<Point2> positions;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Point2 p{{rng.uniform(0.0, side), rng.uniform(0.0, side)}};
+    positions.push_back(p);
+    positions.push_back(p);  // exact duplicate
+  }
+  for (std::size_t i = 0; i < 20; ++i) {
+    positions.push_back({{rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : side, rng.uniform(0.0, side)}});
+  }
+
+  for (const bool torus : {false, true}) {
+    EmstEngine<2> batch;
+    KineticEmstEngine<2> kinetic;
+    auto pts = positions;
+    const auto b0 = torus ? batch.torus(pts, side) : batch.euclidean(pts, box);
+    const auto k0 = torus ? kinetic.start_torus(pts, side) : kinetic.start(pts, box);
+    expect_trees_identical(b0, k0, 0);
+    for (std::size_t s = 1; s <= 40; ++s) {
+      for (std::size_t i = 0; i < pts.size(); i += 3) {
+        // Snap to the boundary half the time, drift otherwise.
+        pts[i].coords[0] = rng.uniform(0.0, 1.0) < 0.5
+                               ? (rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : side)
+                               : std::clamp(pts[i].coords[0] + rng.uniform(-2.0, 2.0), 0.0, side);
+      }
+      const auto b = torus ? batch.torus(pts, side) : batch.euclidean(pts, box);
+      const auto k = kinetic.advance(pts);
+      expect_trees_identical(b, k, s);
+      expect_curves_identical<2>(pts.size(), b, k, s);
+    }
+  }
+}
+
+TEST(KineticDifferential, RandomizedConfigSweep) {
+  // Randomized fuzz over the whole configuration space: dimension, node
+  // count (straddling the dense cutoff), region size, model, metric.
+  Rng meta(0xD1FFull);
+  for (int round = 0; round < 24; ++round) {
+    const int d = 1 + static_cast<int>(meta.next_u64() % 3);
+    const std::size_t n = 24 + meta.next_u64() % 200;
+    const double side = 16.0 + meta.uniform(0.0, 80.0);
+    const bool torus = (meta.next_u64() & 1) != 0;
+    const bool waypoint = (meta.next_u64() & 1) != 0;
+    const std::size_t steps = 25 + meta.next_u64() % 30;
+    const std::uint64_t seed = meta.next_u64();
+    const MobilityConfig mobility = waypoint ? fast_waypoint(side) : fast_drunkard(side);
+    SCOPED_TRACE(::testing::Message() << "round=" << round << " d=" << d << " n=" << n
+                                      << " side=" << side << " torus=" << torus
+                                      << " waypoint=" << waypoint);
+    if (d == 1) {
+      run_differential_trace<1>(n, side, mobility, torus, steps, seed);
+    } else if (d == 2) {
+      run_differential_trace<2>(n, side, mobility, torus, steps, seed);
+    } else {
+      run_differential_trace<3>(n, side, mobility, torus, steps, seed);
+    }
+  }
+}
+
+TEST(KineticDifferential, RunMobileTraceEngineSelectionIsBitIdentical) {
+  // The run_mobile_trace seam itself: explicit batch vs explicit kinetic on
+  // the same seed must produce bit-identical traces.
+  const Box2 box(96.0);
+  const auto config = fast_waypoint(96.0);
+  const auto run = [&](TraceEngine engine) {
+    Rng rng(61);
+    const auto model = make_mobility_model<2>(config, box);
+    TraceWorkspace<2> ws;
+    const auto trace = run_mobile_trace<2>(128, box, 60, *model, rng, &ws, engine);
+    const auto timeline = trace.critical_radius_timeline();
+    return std::vector<double>(timeline.begin(), timeline.end());
+  };
+  const auto batch_timeline = run(TraceEngine::kBatch);
+  const auto kinetic_timeline = run(TraceEngine::kKinetic);
+  ASSERT_EQ(batch_timeline.size(), kinetic_timeline.size());
+  for (std::size_t i = 0; i < batch_timeline.size(); ++i) {
+    EXPECT_TRUE(bits_equal(batch_timeline[i], kinetic_timeline[i])) << "step " << i;
+  }
+}
+
+std::vector<double> flatten_all(const std::vector<MtrmResult>& results) {
+  std::vector<double> values;
+  for (const MtrmResult& result : results) {
+    const auto flat = flatten_mtrm_result(result);
+    values.insert(values.end(), flat.begin(), flat.end());
+  }
+  return values;
+}
+
+TEST(KineticDifferential, MtrmSweepIsBitIdenticalAcrossEngines) {
+  const KineticModeGuard guard;
+  const std::vector<MtrmConfig> configs = {
+      experiments::waypoint_experiment(256.0, Preset::kQuick),
+      experiments::drunkard_experiment(256.0, Preset::kQuick)};
+
+  set_kinetic_mode(KineticMode::kForceOff);
+  const auto batch_flat = flatten_all(experiments::solve_mtrm_sweep(configs, 20020623));
+  set_kinetic_mode(KineticMode::kForceOn);
+  const auto kinetic_flat = flatten_all(experiments::solve_mtrm_sweep(configs, 20020623));
+
+  ASSERT_EQ(batch_flat.size(), kinetic_flat.size());
+  EXPECT_EQ(0, std::memcmp(batch_flat.data(), kinetic_flat.data(),
+                           batch_flat.size() * sizeof(double)));
+}
+
+std::uint64_t mtrm_checksum(const MtrmConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  return fnv1a_bits(flatten_mtrm_result(solve_mtrm<2>(config, rng)));
+}
+
+// The PR 2/4 golden digests (tests/determinism_test.cpp), re-pinned through
+// the FORCED kinetic path at 1 and 8 threads. If these move while the
+// determinism_test copies hold, the kinetic engine has broken bit-identity.
+TEST(KineticDifferential, GoldenChecksumsHoldThroughKineticPathAtOneAndEightThreads) {
+  const KineticModeGuard mode_guard;
+  const ParallelismGuard parallelism_guard;
+  set_kinetic_mode(KineticMode::kForceOn);
+
+  const MtrmConfig waypoint = experiments::waypoint_experiment(256.0, Preset::kQuick);
+  const MtrmConfig drunkard = experiments::drunkard_experiment(256.0, Preset::kQuick);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    set_max_parallelism(threads);
+    EXPECT_EQ(hex_u64(mtrm_checksum(waypoint, 20020623)), hex_u64(0x7f15b5b64209b3a3ull))
+        << "threads=" << threads;
+    EXPECT_EQ(hex_u64(mtrm_checksum(drunkard, 20020623)), hex_u64(0xca0fd93f2a6598c4ull))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace manet
