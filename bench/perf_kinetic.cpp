@@ -149,7 +149,12 @@ int main(int argc, char** argv) {
   const Box2 box(side);
   // The acceptance point is {4096, 10000}: a full paper-scale trace at a
   // node count where the batch re-solve clearly dominates the step cost.
-  std::vector<TraceConfig> sweep = {{1024, 3000}, {4096, 10000}, {16384, 1200}, {32768, 400}};
+  // {65536, 131072} extend the sweep into the Wang-et-al. critical-
+  // connectivity scaling regime (n >= 10^5) that the SoA + SIMD kernel layer
+  // (geometry/distance_kernels.hpp) targets; fewer steps keep the batch
+  // reference affordable there.
+  std::vector<TraceConfig> sweep = {{1024, 3000},  {4096, 10000}, {16384, 1200},
+                                    {32768, 400},  {65536, 200},  {131072, 100}};
   if (quick) sweep = {{1024, 300}};
 
   bool identical = true;

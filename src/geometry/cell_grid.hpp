@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "geometry/box.hpp"
+#include "geometry/distance_kernels.hpp"
 #include "geometry/point.hpp"
+#include "geometry/point_store.hpp"
 #include "geometry/torus.hpp"
 #include "support/contracts.hpp"
 #include "support/error.hpp"
@@ -92,6 +94,14 @@ class CellGrid {
     for (std::size_t c = 0; c < total_cells; ++c) {
       if (cell_start_[c + 1] > cell_start_[c]) occupied_.push_back(c);
     }
+
+    // SoA snapshot of the coordinates in CSR slot order: every cell's points
+    // are one contiguous run per axis, so the pair scans below hand whole
+    // runs to the batched kernels (geometry/distance_kernels.hpp) instead of
+    // chasing Point structs pair by pair. Capacity-only growth, like every
+    // other buffer here.
+    slot_coords_.assign_gather(points, point_ids_);
+    d2_scratch_.resize(points.size());
 
     points_ = points;
   }
@@ -178,20 +188,17 @@ class CellGrid {
     return c;
   }
 
-  std::span<const std::size_t> cell_points(std::size_t flat) const noexcept {
-    return {point_ids_.data() + cell_start_[flat], cell_start_[flat + 1] - cell_start_[flat]};
-  }
-
   template <bool Wrap, typename Fn>
   void scan_cell(const std::array<std::size_t, D>& cell, double r2, Fn&& fn) const {
-    const auto own = cell_points(flat_index(cell));
-    if (own.empty()) return;
+    const std::size_t flat = flat_index(cell);
+    const std::size_t own_begin = cell_start_[flat];
+    const std::size_t own_end = cell_start_[flat + 1];
+    if (own_begin == own_end) return;
 
-    // Pairs inside the cell itself.
-    for (std::size_t a = 0; a < own.size(); ++a) {
-      for (std::size_t b = a + 1; b < own.size(); ++b) {
-        emit<Wrap>(own[a], own[b], r2, fn);
-      }
+    // Pairs inside the cell itself: slot a against the contiguous run after
+    // it — the same (a, b) visit order as the scalar double loop.
+    for (std::size_t a = own_begin; a + 1 < own_end; ++a) {
+      emit_run<Wrap>(a, a + 1, own_end, r2, fn);
     }
 
     // Pairs with lexicographically-forward neighbor cells: each unordered
@@ -229,8 +236,12 @@ class CellGrid {
       }
       if (!in_grid) continue;
 
-      for (std::size_t i : own) {
-        for (std::size_t j : cell_points(flat_index(other))) emit<Wrap>(i, j, r2, fn);
+      const std::size_t other_flat = flat_index(other);
+      const std::size_t other_begin = cell_start_[other_flat];
+      const std::size_t other_end = cell_start_[other_flat + 1];
+      if (other_begin == other_end) continue;
+      for (std::size_t a = own_begin; a < own_end; ++a) {
+        emit_run<Wrap>(a, other_begin, other_end, r2, fn);
       }
     }
   }
@@ -245,13 +256,37 @@ class CellGrid {
     return false;  // all-zero offset = own cell, handled separately
   }
 
+  /// Batched replacement of the old per-pair emit: squared distances of the
+  /// candidate in `candidate_slot` against the contiguous slot run
+  /// [run_begin, run_end) in one kernel call, then the in-radius filter in
+  /// run order. Every d2 is bit-identical to the scalar metric (the kernels
+  /// reproduce the scalar cores' per-axis operation sequence), and pairs are
+  /// emitted in the exact order the scalar double loop used.
   template <bool Wrap, typename Fn>
-  void emit(std::size_t i, std::size_t j, double r2, Fn&& fn) const {
-    const double d2 = Wrap ? torus_squared_distance(points_[i], points_[j], side_)
-                           : squared_distance(points_[i], points_[j]);
-    if (d2 <= r2) {
-      if (i > j) std::swap(i, j);
-      fn(i, j, d2);
+  void emit_run(std::size_t candidate_slot, std::size_t run_begin, std::size_t run_end,
+                double r2, Fn&& fn) const {
+    const std::size_t count = run_end - run_begin;
+    std::array<double, static_cast<std::size_t>(D)> q;
+    kernels::AxisPointers<D> axes;
+    for (int i = 0; i < D; ++i) {
+      const double* axis = slot_coords_.axis(i);
+      q[static_cast<std::size_t>(i)] = axis[candidate_slot];
+      axes[static_cast<std::size_t>(i)] = axis + run_begin;
+    }
+    double* d2 = d2_scratch_.data();
+    if constexpr (Wrap) {
+      kernels::batch_torus_squared_distance<D>(axes, count, q.data(), side_, d2);
+    } else {
+      kernels::batch_squared_distance<D>(axes, count, q.data(), d2);
+    }
+    const std::size_t candidate_id = point_ids_[candidate_slot];
+    for (std::size_t k = 0; k < count; ++k) {
+      if (d2[k] <= r2) {
+        std::size_t i = candidate_id;
+        std::size_t j = point_ids_[run_begin + k];
+        if (i > j) std::swap(i, j);
+        fn(i, j, d2[k]);
+      }
     }
   }
 
@@ -263,6 +298,8 @@ class CellGrid {
   std::vector<std::size_t> point_ids_;
   std::vector<std::size_t> occupied_;
   std::vector<std::size_t> cell_of_;  // counting-sort scratch, reused by rebuild
+  PointStore<D> slot_coords_;         // SoA coordinates in CSR slot order
+  mutable std::vector<double> d2_scratch_;  // per-run kernel output (queries are const)
 };
 
 }  // namespace manet

@@ -1,0 +1,439 @@
+#pragma once
+
+// Batched distance kernels over structure-of-arrays coordinates.
+//
+// This header is the single source of truth for the library's two metrics:
+// `squared_distance` (point.hpp) and `torus_squared_distance` (torus.hpp)
+// both delegate to the scalar cores below, and every batched (one candidate
+// against a contiguous SoA run) kernel reproduces the scalar core's exact
+// floating-point operation sequence PER ELEMENT:
+//
+//   sum = 0; for each axis i in 0..D-1: d = a_i - b_i; sum += d * d
+//
+// The accumulation order is per-axis, fixed, and identical in the scalar,
+// portable-batch, and AVX2 paths, so every pair's d2 is bit-identical no
+// matter which path computed it. The AVX2 kernels are lane-wise translations
+// of the same sequence — subtract, multiply, add as separate correctly-
+// rounded IEEE-754 operations. Fused multiply-add is deliberately never
+// used (it would change the rounding of d*d + sum), and the build compiles
+// with -ffp-contract=off so the compiler cannot introduce contractions
+// behind our back either (see DESIGN.md §15 for the full bit-identity
+// argument, including why andnot-abs and min_pd match std::abs/std::min
+// on this domain).
+//
+// This is the ONLY file in src/ allowed to include SIMD intrinsics headers
+// or query CPU features (enforced by the manet-lint `simd-confinement`
+// rule): every other layer calls these kernels and stays ISA-agnostic.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MANET_KERNELS_X86 1
+#include <immintrin.h>  // manet-lint: allow(simd-confinement) — this is the confinement point
+#else
+#define MANET_KERNELS_X86 0
+#endif
+
+namespace manet::kernels {
+
+/// One `const double*` per axis of a structure-of-arrays coordinate block.
+template <int D>
+using AxisPointers = std::array<const double*, static_cast<std::size_t>(D)>;
+
+/// Mutable variant, for kernels that update coordinates in place.
+template <int D>
+using MutableAxisPointers = std::array<double*, static_cast<std::size_t>(D)>;
+
+// ---------------------------------------------------------------------------
+// Scalar cores — the definition of the metric. Everything else matches these.
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance between two D-tuples stored contiguously.
+template <int D>
+constexpr double squared_distance_scalar(const double* a, const double* b) noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Squared distance on the flat torus [0, side]^D. The caller validates
+/// side > 0 (torus.hpp keeps the MANET_EXPECTS contract at the public API).
+template <int D>
+double torus_squared_distance_scalar(const double* a, const double* b, double side) noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double d = std::abs(a[i] - b[i]);
+    d = std::min(d, side - d);
+    sum += d * d;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Portable batch kernels — plain loops in the same per-element order, written
+// over SoA axes so the auto-vectorizer can work even without the AVX2 path.
+// ---------------------------------------------------------------------------
+
+/// out[k] = squared_distance(axes[.][k], q) for k in [0, count).
+template <int D>
+void batch_squared_distance_portable(const AxisPointers<D>& axes, std::size_t count,
+                                     const double* q, double* out) noexcept {
+  for (std::size_t k = 0; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double d = axes[static_cast<std::size_t>(i)][k] - q[i];
+      sum += d * d;
+    }
+    out[k] = sum;
+  }
+}
+
+/// out[k] = torus_squared_distance(axes[.][k], q, side) for k in [0, count).
+template <int D>
+void batch_torus_squared_distance_portable(const AxisPointers<D>& axes, std::size_t count,
+                                           const double* q, double side, double* out) noexcept {
+  for (std::size_t k = 0; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      double d = std::abs(axes[static_cast<std::size_t>(i)][k] - q[i]);
+      d = std::min(d, side - d);
+      sum += d * d;
+    }
+    out[k] = sum;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 batch kernels. Lane-wise translation of the scalar core: every lane
+// performs the identical scalar operation sequence, so results are bitwise
+// equal. No FMA — see the header comment.
+// ---------------------------------------------------------------------------
+
+#if MANET_KERNELS_X86
+
+template <int D>
+__attribute__((target("avx2"))) void batch_squared_distance_avx2(
+    const AxisPointers<D>& axes, std::size_t count, const double* q, double* out) noexcept {
+  const __m256d q0 = _mm256_set1_pd(q[0]);
+  const __m256d q1 = _mm256_set1_pd(D >= 2 ? q[1] : 0.0);
+  const __m256d q2 = _mm256_set1_pd(D >= 3 ? q[2] : 0.0);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(axes[0] + k), q0);
+    __m256d sum = _mm256_mul_pd(d, d);
+    if constexpr (D >= 2) {
+      d = _mm256_sub_pd(_mm256_loadu_pd(axes[1] + k), q1);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    if constexpr (D >= 3) {
+      d = _mm256_sub_pd(_mm256_loadu_pd(axes[2] + k), q2);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + k, sum);
+  }
+  for (; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double d = axes[static_cast<std::size_t>(i)][k] - q[i];
+      sum += d * d;
+    }
+    out[k] = sum;
+  }
+}
+
+/// |x| via clearing the sign bit matches std::abs bit-for-bit on every
+/// non-NaN double; min_pd(side-d, d) picks d on ties exactly like
+/// std::min(d, side-d), and d == side-d never mixes +0/-0 here (d >= 0 and
+/// side > 0, so side-d == 0 only when d == side > 0).
+template <int D>
+__attribute__((target("avx2"))) void batch_torus_squared_distance_avx2(
+    const AxisPointers<D>& axes, std::size_t count, const double* q, double side,
+    double* out) noexcept {
+  const __m256d q0 = _mm256_set1_pd(q[0]);
+  const __m256d q1 = _mm256_set1_pd(D >= 2 ? q[1] : 0.0);
+  const __m256d q2 = _mm256_set1_pd(D >= 3 ? q[2] : 0.0);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d side_v = _mm256_set1_pd(side);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    __m256d d = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(_mm256_loadu_pd(axes[0] + k), q0));
+    d = _mm256_min_pd(_mm256_sub_pd(side_v, d), d);
+    __m256d sum = _mm256_mul_pd(d, d);
+    if constexpr (D >= 2) {
+      d = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(_mm256_loadu_pd(axes[1] + k), q1));
+      d = _mm256_min_pd(_mm256_sub_pd(side_v, d), d);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    if constexpr (D >= 3) {
+      d = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(_mm256_loadu_pd(axes[2] + k), q2));
+      d = _mm256_min_pd(_mm256_sub_pd(side_v, d), d);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + k, sum);
+  }
+  for (; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      double d = std::abs(axes[static_cast<std::size_t>(i)][k] - q[i]);
+      d = std::min(d, side - d);
+      sum += d * d;
+    }
+    out[k] = sum;
+  }
+}
+
+#endif  // MANET_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch. One cached CPUID probe; falls back to the portable path
+// on non-x86 builds or pre-AVX2 hardware.
+// ---------------------------------------------------------------------------
+
+inline bool cpu_has_avx2() noexcept {
+#if MANET_KERNELS_X86
+  static const bool supported = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+/// out[k] = squared_distance(axes[.][k], q); bit-identical to the scalar core.
+template <int D>
+inline void batch_squared_distance(const AxisPointers<D>& axes, std::size_t count,
+                                   const double* q, double* out) noexcept {
+#if MANET_KERNELS_X86
+  if (cpu_has_avx2()) {
+    batch_squared_distance_avx2<D>(axes, count, q, out);
+    return;
+  }
+#endif
+  batch_squared_distance_portable<D>(axes, count, q, out);
+}
+
+/// out[k] = torus_squared_distance(axes[.][k], q, side); bit-identical to the
+/// scalar core.
+template <int D>
+inline void batch_torus_squared_distance(const AxisPointers<D>& axes, std::size_t count,
+                                         const double* q, double side, double* out) noexcept {
+#if MANET_KERNELS_X86
+  if (cpu_has_avx2()) {
+    batch_torus_squared_distance_avx2<D>(axes, count, q, side, out);
+    return;
+  }
+#endif
+  batch_torus_squared_distance_portable<D>(axes, count, q, side, out);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise trace kernels for the mobility / kinetic layers.
+// ---------------------------------------------------------------------------
+
+/// out[k] = 1 when the k-th tuples of `a` and `b` differ in any axis
+/// (IEEE `!=` per coordinate, exactly `!(Point == Point)`), else 0. Used by
+/// the kinetic engine's moved-node detection.
+template <int D>
+void batch_tuple_not_equal_portable(const AxisPointers<D>& a, const AxisPointers<D>& b,
+                                    std::size_t count, std::uint8_t* out) noexcept {
+  for (std::size_t k = 0; k < count; ++k) {
+    bool neq = false;
+    for (int i = 0; i < D; ++i) {
+      neq = neq || (a[static_cast<std::size_t>(i)][k] != b[static_cast<std::size_t>(i)][k]);
+    }
+    out[k] = neq ? std::uint8_t{1} : std::uint8_t{0};
+  }
+}
+
+#if MANET_KERNELS_X86
+
+template <int D>
+__attribute__((target("avx2"))) void batch_tuple_not_equal_avx2(const AxisPointers<D>& a,
+                                                                const AxisPointers<D>& b,
+                                                                std::size_t count,
+                                                                std::uint8_t* out) noexcept {
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    // _CMP_NEQ_UQ matches the semantics of scalar `!=` (unordered => true).
+    __m256d neq = _mm256_cmp_pd(_mm256_loadu_pd(a[0] + k), _mm256_loadu_pd(b[0] + k),
+                                _CMP_NEQ_UQ);
+    if constexpr (D >= 2) {
+      neq = _mm256_or_pd(neq, _mm256_cmp_pd(_mm256_loadu_pd(a[1] + k),
+                                            _mm256_loadu_pd(b[1] + k), _CMP_NEQ_UQ));
+    }
+    if constexpr (D >= 3) {
+      neq = _mm256_or_pd(neq, _mm256_cmp_pd(_mm256_loadu_pd(a[2] + k),
+                                            _mm256_loadu_pd(b[2] + k), _CMP_NEQ_UQ));
+    }
+    const int mask = _mm256_movemask_pd(neq);
+    out[k + 0] = static_cast<std::uint8_t>(mask & 1);
+    out[k + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    out[k + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    out[k + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  for (; k < count; ++k) {
+    bool neq = false;
+    for (int i = 0; i < D; ++i) {
+      neq = neq || (a[static_cast<std::size_t>(i)][k] != b[static_cast<std::size_t>(i)][k]);
+    }
+    out[k] = neq ? std::uint8_t{1} : std::uint8_t{0};
+  }
+}
+
+#endif  // MANET_KERNELS_X86
+
+/// Moved-node detection over two SoA snapshots; see the portable variant for
+/// the exact semantics.
+template <int D>
+inline void batch_tuple_not_equal(const AxisPointers<D>& a, const AxisPointers<D>& b,
+                                  std::size_t count, std::uint8_t* out) noexcept {
+#if MANET_KERNELS_X86
+  if (cpu_has_avx2()) {
+    batch_tuple_not_equal_avx2<D>(a, b, count, out);
+    return;
+  }
+#endif
+  batch_tuple_not_equal_portable<D>(a, b, count, out);
+}
+
+/// out[k] = distance between the k-th tuples of `a` and `b`:
+/// sqrt(sum_i (a_i - b_i)^2) in the fixed per-axis order. sqrt is an IEEE
+/// correctly-rounded operation, so the vectorized form (vsqrtpd) is
+/// bit-identical to std::sqrt lane by lane. Used by the waypoint model's
+/// leg-progress pass.
+template <int D>
+void batch_pair_distance_portable(const AxisPointers<D>& a, const AxisPointers<D>& b,
+                                  std::size_t count, double* out) noexcept {
+  for (std::size_t k = 0; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double d = a[static_cast<std::size_t>(i)][k] - b[static_cast<std::size_t>(i)][k];
+      sum += d * d;
+    }
+    out[k] = std::sqrt(sum);
+  }
+}
+
+#if MANET_KERNELS_X86
+
+template <int D>
+__attribute__((target("avx2"))) void batch_pair_distance_avx2(const AxisPointers<D>& a,
+                                                              const AxisPointers<D>& b,
+                                                              std::size_t count,
+                                                              double* out) noexcept {
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a[0] + k), _mm256_loadu_pd(b[0] + k));
+    __m256d sum = _mm256_mul_pd(d, d);
+    if constexpr (D >= 2) {
+      d = _mm256_sub_pd(_mm256_loadu_pd(a[1] + k), _mm256_loadu_pd(b[1] + k));
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    if constexpr (D >= 3) {
+      d = _mm256_sub_pd(_mm256_loadu_pd(a[2] + k), _mm256_loadu_pd(b[2] + k));
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + k, _mm256_sqrt_pd(sum));
+  }
+  for (; k < count; ++k) {
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double d = a[static_cast<std::size_t>(i)][k] - b[static_cast<std::size_t>(i)][k];
+      sum += d * d;
+    }
+    out[k] = std::sqrt(sum);
+  }
+}
+
+#endif  // MANET_KERNELS_X86
+
+/// Pairwise Euclidean distance over two SoA blocks; bit-identical to
+/// `distance(a_k, b_k)` per element.
+template <int D>
+inline void batch_pair_distance(const AxisPointers<D>& a, const AxisPointers<D>& b,
+                                std::size_t count, double* out) noexcept {
+#if MANET_KERNELS_X86
+  if (cpu_has_avx2()) {
+    batch_pair_distance_avx2<D>(a, b, count, out);
+    return;
+  }
+#endif
+  batch_pair_distance_portable<D>(a, b, count, out);
+}
+
+/// Masked leg advance for the waypoint model: where mask[k] != 0,
+///   pos_i[k] += (dest_i[k] - pos_i[k]) * scale[k]   for each axis i,
+/// exactly the scalar `pos += (dest - pos) * scale`; other lanes are left
+/// untouched (a select, not a multiply-by-zero, so masked lanes cannot pick
+/// up -0.0 or NaN from a garbage scale).
+template <int D>
+void batch_masked_advance_portable(const MutableAxisPointers<D>& pos, const AxisPointers<D>& dest,
+                                   const double* scale, const std::uint8_t* mask,
+                                   std::size_t count) noexcept {
+  for (int i = 0; i < D; ++i) {
+    double* p = pos[static_cast<std::size_t>(i)];
+    const double* t = dest[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < count; ++k) {
+      const double advanced = p[k] + (t[k] - p[k]) * scale[k];
+      p[k] = mask[k] != 0 ? advanced : p[k];
+    }
+  }
+}
+
+#if MANET_KERNELS_X86
+
+template <int D>
+__attribute__((target("avx2"))) void batch_masked_advance_avx2(
+    const MutableAxisPointers<D>& pos, const AxisPointers<D>& dest, const double* scale,
+    const std::uint8_t* mask, std::size_t count) noexcept {
+  for (int i = 0; i < D; ++i) {
+    double* p = pos[static_cast<std::size_t>(i)];
+    const double* t = dest[static_cast<std::size_t>(i)];
+    std::size_t k = 0;
+    for (; k + 4 <= count; k += 4) {
+      // Widen the 4 mask bytes to qword lanes; is_zero lanes keep the old pos.
+      const __m128i bytes = _mm_cvtsi32_si128(static_cast<int>(
+          static_cast<unsigned>(mask[k]) | (static_cast<unsigned>(mask[k + 1]) << 8) |
+          (static_cast<unsigned>(mask[k + 2]) << 16) |
+          (static_cast<unsigned>(mask[k + 3]) << 24)));
+      const __m256i wide = _mm256_cvtepu8_epi64(bytes);
+      const __m256i is_zero = _mm256_cmpeq_epi64(wide, _mm256_setzero_si256());
+      const __m256d pv = _mm256_loadu_pd(p + k);
+      const __m256d delta = _mm256_sub_pd(_mm256_loadu_pd(t + k), pv);
+      const __m256d advanced =
+          _mm256_add_pd(pv, _mm256_mul_pd(delta, _mm256_loadu_pd(scale + k)));
+      _mm256_storeu_pd(p + k, _mm256_blendv_pd(advanced, pv, _mm256_castsi256_pd(is_zero)));
+    }
+    for (; k < count; ++k) {
+      const double advanced = p[k] + (t[k] - p[k]) * scale[k];
+      p[k] = mask[k] != 0 ? advanced : p[k];
+    }
+  }
+}
+
+#endif  // MANET_KERNELS_X86
+
+/// Masked waypoint advance; see the portable variant for exact semantics.
+template <int D>
+inline void batch_masked_advance(const MutableAxisPointers<D>& pos, const AxisPointers<D>& dest,
+                                 const double* scale, const std::uint8_t* mask,
+                                 std::size_t count) noexcept {
+#if MANET_KERNELS_X86
+  if (cpu_has_avx2()) {
+    batch_masked_advance_avx2<D>(pos, dest, scale, mask, count);
+    return;
+  }
+#endif
+  batch_masked_advance_portable<D>(pos, dest, scale, mask, count);
+}
+
+}  // namespace manet::kernels

@@ -6,6 +6,8 @@
 #include <limits>
 #include <ostream>
 
+#include "geometry/distance_kernels.hpp"
+
 namespace manet {
 
 /// A point in D-dimensional Euclidean space. D is a compile-time constant:
@@ -48,15 +50,12 @@ using Point2 = Point<2>;
 using Point3 = Point<3>;
 
 /// Squared Euclidean distance (avoids the sqrt in hot loops; the point-graph
-/// edge test `dist <= r` is done as `dist2 <= r*r`).
+/// edge test `dist <= r` is done as `dist2 <= r*r`). Delegates to the shared
+/// scalar core in geometry/distance_kernels.hpp — the single definition the
+/// batched SIMD kernels are pinned bit-identical to.
 template <int D>
 constexpr double squared_distance(const Point<D>& a, const Point<D>& b) {
-  double sum = 0.0;
-  for (int i = 0; i < D; ++i) {
-    const double d = a.coords[i] - b.coords[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::squared_distance_scalar<D>(a.coords.data(), b.coords.data());
 }
 
 /// Euclidean distance.

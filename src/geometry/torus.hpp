@@ -1,8 +1,8 @@
 #pragma once
 
-#include <algorithm>
 #include <cmath>
 
+#include "geometry/distance_kernels.hpp"
 #include "geometry/point.hpp"
 #include "support/error.hpp"
 
@@ -17,13 +17,10 @@ namespace manet {
 template <int D>
 double torus_squared_distance(const Point<D>& a, const Point<D>& b, double side) {
   MANET_EXPECTS(side > 0.0);
-  double sum = 0.0;
-  for (int i = 0; i < D; ++i) {
-    double d = std::abs(a.coords[i] - b.coords[i]);
-    d = std::min(d, side - d);
-    sum += d * d;
-  }
-  return sum;
+  // Shared scalar core (geometry/distance_kernels.hpp): the one definition
+  // of the wrap-around metric that the batched SIMD kernels are pinned
+  // bit-identical to. The precondition stays here, at the public API.
+  return kernels::torus_squared_distance_scalar<D>(a.coords.data(), b.coords.data(), side);
 }
 
 template <int D>

@@ -26,6 +26,13 @@ struct DrunkardParams {
 };
 
 /// Drunkard mobility (random, non-intentional movement).
+///
+/// Unlike the waypoint model (SoA + batched kernels, mobility/
+/// random_waypoint.hpp), this step loop stays scalar by necessity: every
+/// mover's position update IS an RNG draw — uniform_in_ball_in_box rejection-
+/// samples a variable number of uniforms per call — so there is no
+/// elementwise arithmetic phase to split out without changing the draw
+/// order, and the draw order is pinned by the golden trace checksums.
 template <int D>
 class DrunkardModel final : public MobilityModel<D> {
  public:

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geometry/box.hpp"
+#include "geometry/distance_kernels.hpp"
+#include "geometry/point_store.hpp"
 #include "mobility/mobility_model.hpp"
 #include "support/contracts.hpp"
 #include "support/error.hpp"
@@ -28,6 +31,25 @@ struct RandomWaypointParams {
 };
 
 /// Random waypoint mobility (intentional movement).
+///
+/// State is stored structure-of-arrays and a step runs in three phases so
+/// the elementwise position arithmetic vectorizes without touching the RNG
+/// draw order:
+///   1. one batched kernel computes every node's distance-to-destination
+///      (bit-identical to the scalar `distance` per lane — sqrt is IEEE
+///      correctly rounded),
+///   2. a scalar pass in node-index order makes all decisions — pause
+///      countdowns, arrivals, new-leg draws. This is the ONLY phase that
+///      touches the Rng, and it performs exactly the draws the original
+///      per-node loop performed, in the same order, so every trace is
+///      bit-identical to the AoS implementation (the golden FNV-1a
+///      checksums in determinism_test pin this),
+///   3. one batched kernel advances the still-moving nodes:
+///      pos += (dest - pos) * (speed / dist), a masked select that leaves
+///      every other lane bit-untouched.
+/// (The drunkard model cannot be phase-split like this: every mover's
+/// update IS an RNG draw — rejection-sampled in uniform_in_ball_in_box — so
+/// it stays scalar; see mobility/drunkard.hpp.)
 template <int D>
 class RandomWaypointModel final : public MobilityModel<D> {
  public:
@@ -37,81 +59,109 @@ class RandomWaypointModel final : public MobilityModel<D> {
   }
 
   void initialize(std::span<const Point<D>> positions, Rng& rng) override {
-    nodes_.assign(positions.size(), NodeState{});
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      NodeState& node = nodes_[i];
-      node.permanently_stationary = rng.bernoulli(params_.p_stationary);
-      if (!node.permanently_stationary) {
-        start_new_leg(node, positions[i], rng);
-      }
+    const std::size_t n = positions.size();
+    permanently_stationary_.assign(n, 0);
+    destination_.resize(n);
+    speed_.assign(n, 0.0);
+    pause_remaining_.assign(n, 0);
+    pos_.reserve(n);
+    dist_.resize(n);
+    scale_.resize(n);
+    advance_mask_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      permanently_stationary_[i] = rng.bernoulli(params_.p_stationary) ? 1 : 0;
+      if (permanently_stationary_[i] == 0) start_new_leg(i, rng);
     }
   }
 
   void step(std::span<Point<D>> positions, Rng& rng) override {
-    MANET_EXPECTS(positions.size() == nodes_.size());
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      NodeState& node = nodes_[i];
-      if (node.permanently_stationary) continue;
+    MANET_EXPECTS(positions.size() == permanently_stationary_.size());
+    const std::size_t n = positions.size();
+    pos_.assign(positions);
 
-      if (node.pause_remaining > 0) {
-        --node.pause_remaining;
-        if (node.pause_remaining == 0) start_new_leg(node, positions[i], rng);
+    // Phase 1: distance to destination for every node in one batched sweep.
+    // Lanes of paused/stationary nodes compute against a stale destination
+    // and are never read — the decision pass below only consults dist_[i]
+    // for nodes that are actually moving this step.
+    kernels::batch_pair_distance<D>(pos_.axes(), destination_.axes(), n, dist_.data());
+
+    // Phase 2: decisions + RNG draws, scalar, in node-index order.
+    for (std::size_t i = 0; i < n; ++i) {
+      advance_mask_[i] = 0;
+      if (permanently_stationary_[i] != 0) continue;
+
+      if (pause_remaining_[i] > 0) {
+        --pause_remaining_[i];
+        if (pause_remaining_[i] == 0) start_new_leg(i, rng);
         continue;
       }
 
-      Point<D>& pos = positions[i];
-      const double dist = distance(pos, node.destination);
-      if (dist <= node.speed) {
+      const double dist = dist_[i];
+      if (dist <= speed_[i]) {
         // Arrive this step, then pause (possibly 0 steps).
-        pos = node.destination;
+        for (int a = 0; a < D; ++a) pos_.axis(a)[i] = destination_.axis(a)[i];
         if (params_.pause_steps > 0) {
-          node.pause_remaining = params_.pause_steps;
+          pause_remaining_[i] = params_.pause_steps;
         } else {
-          start_new_leg(node, pos, rng);
+          start_new_leg(i, rng);
         }
+        MANET_ENSURE(region_.contains(pos_.get(i)));
       } else {
-        const double scale = node.speed / dist;
-        pos += (node.destination - pos) * scale;
+        scale_[i] = speed_[i] / dist;
+        advance_mask_[i] = 1;
       }
-      // Both endpoints of a leg lie in the region, so every intermediate
-      // position must too — the paper's trajectories never leave [0, l]^d.
-      MANET_ENSURE(region_.contains(pos));
     }
+
+    // Phase 3: masked elementwise advance of the movers —
+    // pos += (dest - pos) * scale, the scalar leg arithmetic lane by lane.
+    kernels::batch_masked_advance<D>(pos_.mutable_axes(), destination_.axes(), scale_.data(),
+                                     advance_mask_.data(), n);
+    // Both endpoints of a leg lie in the region, so every intermediate
+    // position must too — the paper's trajectories never leave [0, l]^d.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (advance_mask_[i] != 0) MANET_ENSURE(region_.contains(pos_.get(i)));
+    }
+
+    pos_.scatter_to(positions);
   }
 
   std::string name() const override { return "random-waypoint"; }
-  std::size_t node_count() const override { return nodes_.size(); }
+  std::size_t node_count() const override { return permanently_stationary_.size(); }
 
   /// Number of nodes drawn as permanently stationary (for tests and the
   /// Figure 7 p_stationary sweeps).
   std::size_t stationary_node_count() const {
     std::size_t count = 0;
-    for (const NodeState& node : nodes_) {
-      if (node.permanently_stationary) ++count;
+    for (const std::uint8_t flag : permanently_stationary_) {
+      if (flag != 0) ++count;
     }
     return count;
   }
 
  private:
-  struct NodeState {
-    bool permanently_stationary = false;
-    Point<D> destination{};
-    double speed = 0.0;
-    std::size_t pause_remaining = 0;
-  };
-
-  void start_new_leg(NodeState& node, const Point<D>& from, Rng& rng) {
-    node.destination = region_.sample(rng);
-    node.speed = rng.uniform(params_.v_min, params_.v_max);
-    node.pause_remaining = 0;
+  void start_new_leg(std::size_t i, Rng& rng) {
     // A zero-length leg (destination == current position) degenerates into
     // arrival on the next step, which the step() logic already handles.
-    (void)from;
+    destination_.set(i, region_.sample(rng));
+    speed_[i] = rng.uniform(params_.v_min, params_.v_max);
+    pause_remaining_[i] = 0;
   }
 
   Box<D> region_;
   RandomWaypointParams params_;
-  std::vector<NodeState> nodes_;
+
+  // Per-node state, structure-of-arrays.
+  std::vector<std::uint8_t> permanently_stationary_;
+  PointStore<D> destination_;
+  std::vector<double> speed_;
+  std::vector<std::size_t> pause_remaining_;
+
+  // Per-step scratch (capacity-only growth; steps are allocation-free once
+  // initialize() has sized them).
+  PointStore<D> pos_;
+  std::vector<double> dist_;
+  std::vector<double> scale_;
+  std::vector<std::uint8_t> advance_mask_;
 };
 
 }  // namespace manet

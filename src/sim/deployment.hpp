@@ -21,4 +21,15 @@ std::vector<Point<D>> uniform_deployment(std::size_t n, const Box<D>& box, Rng& 
   return points;
 }
 
+/// In-place form: fills `out` (cleared first, capacity reused) with the same
+/// draws in the same order as the returning overload — a pooled workspace
+/// buffer deploys allocation-free once it has seen its working size.
+template <int D>
+void uniform_deployment(std::size_t n, const Box<D>& box, Rng& rng,
+                        std::vector<Point<D>>& out) {
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(box.sample(rng));
+}
+
 }  // namespace manet

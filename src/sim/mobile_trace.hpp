@@ -137,7 +137,8 @@ MobileConnectivityTrace run_mobile_trace(std::size_t n, const Box<D>& box, std::
   TraceWorkspace<D>& ws = workspace != nullptr ? *workspace : local_workspace;
   const bool kinetic = engine == TraceEngine::kKinetic ||
                        (engine == TraceEngine::kAuto && kinetic_enabled());
-  auto positions = uniform_deployment(n, box, rng);
+  uniform_deployment(n, box, rng, ws.positions);
+  std::vector<Point<D>>& positions = ws.positions;
   model.initialize(positions, rng);
 
   std::vector<LargestComponentCurve> curves;

@@ -52,6 +52,11 @@ struct TraceWorkspace {
   UnionFind dsu{0};
   std::vector<LargestComponentCurve::Breakpoint> breakpoints;
   std::vector<CurveMergeEvent> merge_events;
+  /// Pooled position buffer run_mobile_trace deploys into and steps the
+  /// mobility model through — reusing it across the traces of a sweep saves
+  /// one n-point allocation per trace. Overwritten by every deployment, so
+  /// no state leaks between traces.
+  std::vector<Point<D>> positions;
 };
 
 /// Grid-accelerated component curve of `points` (inside `box`) using pooled

@@ -135,6 +135,11 @@ void KineticEmstEngine<D>::rebuild_kinetic_grid(std::span<const Point<D>> points
   cell_start_.resize(total_cells_ + 1);
   cell_cursor_.resize(total_cells_);
   cell_ids_.resize(n_);
+  // Scratch for the batched scans; sized once so warm advances stay
+  // allocation-free even after a radius-growth rebuild mid-trace.
+  snap_.reserve(n_);
+  cur_.reserve(n_);
+  near_d2_.resize(n_);
   for (std::size_t p = 0; p < n_; ++p) cell_of_[p] = flat_index(cell_coords(points[p]));
 }
 
@@ -152,56 +157,127 @@ void KineticEmstEngine<D>::build_cell_snapshot() {
   for (std::size_t p = 0; p < n_; ++p) {
     cell_ids_[cell_cursor_[cell_of_[p]]++] = static_cast<std::uint32_t>(p);
   }
+  // SoA coordinate snapshot matching cell_ids_: every cell (and every axis-0
+  // row of cells) is a contiguous run per axis, ready for the batched
+  // kernels. Gather from cur_, which advance_impl filled this step.
+  snap_.assign_gather(cur_, std::span<const std::uint32_t>(cell_ids_.data(), n_));
 }
 
 template <int D>
-template <bool Torus, typename Fn>
-void KineticEmstEngine<D>::for_each_near(std::span<const Point<D>> points, std::uint32_t i,
-                                         Fn&& fn) const {
+template <bool Torus>
+void KineticEmstEngine<D>::emit_mover_run(std::uint32_t i, const double* q,
+                                          std::size_t run_begin, std::size_t run_end,
+                                          bool direct_index) {
+  const std::size_t count = run_end - run_begin;
+  if (count == 0) return;
+  kernels::AxisPointers<D> axes;
+  const PointStore<D>& coords = direct_index ? cur_ : snap_;
+  for (int a = 0; a < D; ++a) {
+    axes[static_cast<std::size_t>(a)] = coords.axis(a) + run_begin;
+  }
+  double* d2 = near_d2_.data();
+  if constexpr (Torus) {
+    kernels::batch_torus_squared_distance<D>(axes, count, q, side_, d2);
+  } else {
+    kernels::batch_squared_distance<D>(axes, count, q, d2);
+  }
+  const std::uint32_t* ids = direct_index ? nullptr : cell_ids_.data() + run_begin;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t j =
+        ids != nullptr ? ids[k] : static_cast<std::uint32_t>(run_begin + k);
+    if (j == i) continue;
+    // Both endpoints moved: emit once, from the smaller id (the larger-id
+    // mover skips the pair).
+    if (moved_flag_[j] != 0 && j < i) continue;
+    if (d2[k] > r2_) continue;
+    changed_.push_back({d2[k], std::min(i, j), std::max(i, j)});
+  }
+}
+
+template <int D>
+template <bool Torus>
+void KineticEmstEngine<D>::scan_mover(std::uint32_t i) {
   const int w = near_window_;
+  std::array<double, static_cast<std::size_t>(D)> q;
+  for (int a = 0; a < D; ++a) q[static_cast<std::size_t>(a)] = cur_.axis(a)[i];
+
   if (Torus && cells_per_axis_ < static_cast<std::size_t>(2 * w + 1)) {
     // Wrapped +-w offsets alias below 2w+1 cells per axis (the same
-    // breakdown CellGrid's torus fallback handles): scan everything.
-    for (std::uint32_t j = 0; j < n_; ++j) {
-      if (j != i) fn(j);
-    }
+    // breakdown CellGrid's torus fallback handles): batch over all nodes in
+    // index order, straight from cur_.
+    emit_mover_run<Torus>(i, q.data(), 0, n_, /*direct_index=*/true);
     return;
   }
-  const auto center = cell_coords(points[i]);
-  std::array<int, D> offset{};
-  offset.fill(-w);
-  for (;;) {
-    std::array<std::size_t, D> other{};
-    bool in_grid = true;
-    for (int a = 0; a < D; ++a) {
-      auto shifted = static_cast<long long>(center[a]) + offset[a];
-      if constexpr (Torus) {
-        const auto cells = static_cast<long long>(cells_per_axis_);
-        if (shifted < 0) shifted += cells;
-        if (shifted >= cells) shifted -= cells;
-      } else {
-        if (shifted < 0 || shifted >= static_cast<long long>(cells_per_axis_)) {
-          in_grid = false;
-          break;
+
+  // Axis 0 is the least-significant digit of the flat cell index, so the
+  // 2w+1 window cells of one axis-0 row are contiguous both in flat index
+  // and (via cell_start_) in CSR slots: each row becomes one batched kernel
+  // run instead of per-cell, per-pair scalar work. Higher axes step by the
+  // usual odometer. A torus wrap splits a row into at most two runs
+  // (2w+1 <= cells_per_axis here, so lo/hi cannot both overflow).
+  const auto center = cell_coords(cur_.get(i));
+  const auto cells = static_cast<long long>(cells_per_axis_);
+  const auto row_base_of = [this](const std::array<std::size_t, D>& c) {
+    std::size_t idx = 0;
+    for (int a = D - 1; a >= 1; --a) idx = idx * cells_per_axis_ + c[static_cast<std::size_t>(a)];
+    return idx * cells_per_axis_;
+  };
+  const auto scan_row = [this, i, &q, cells](std::size_t row_base, long long lo,
+                                             long long hi) {
+    if constexpr (Torus) {
+      if (lo < 0) {
+        emit_mover_run<Torus>(i, q.data(), cell_start_[row_base + static_cast<std::size_t>(lo + cells)],
+                              cell_start_[row_base + static_cast<std::size_t>(cells)], false);
+        lo = 0;
+      } else if (hi >= cells) {
+        emit_mover_run<Torus>(i, q.data(), cell_start_[row_base],
+                              cell_start_[row_base + static_cast<std::size_t>(hi - cells + 1)],
+                              false);
+        hi = cells - 1;
+      }
+    } else {
+      lo = std::max<long long>(lo, 0);
+      hi = std::min<long long>(hi, cells - 1);
+    }
+    emit_mover_run<Torus>(i, q.data(), cell_start_[row_base + static_cast<std::size_t>(lo)],
+                          cell_start_[row_base + static_cast<std::size_t>(hi + 1)], false);
+  };
+
+  const long long lo0 = static_cast<long long>(center[0]) - w;
+  const long long hi0 = static_cast<long long>(center[0]) + w;
+  if constexpr (D == 1) {
+    scan_row(0, lo0, hi0);
+    return;
+  } else {
+    // Odometer over axes 1..D-1 offsets in [-w, w].
+    std::array<int, D> offset{};
+    for (int a = 1; a < D; ++a) offset[static_cast<std::size_t>(a)] = -w;
+    for (;;) {
+      std::array<std::size_t, D> other{};
+      bool in_grid = true;
+      for (int a = 1; a < D; ++a) {
+        auto shifted = static_cast<long long>(center[static_cast<std::size_t>(a)]) +
+                       offset[static_cast<std::size_t>(a)];
+        if constexpr (Torus) {
+          if (shifted < 0) shifted += cells;
+          if (shifted >= cells) shifted -= cells;
+        } else {
+          if (shifted < 0 || shifted >= cells) {
+            in_grid = false;
+            break;
+          }
         }
+        other[static_cast<std::size_t>(a)] = static_cast<std::size_t>(shifted);
       }
-      other[a] = static_cast<std::size_t>(shifted);
-    }
-    if (in_grid) {
-      const std::size_t cell = flat_index(other);
-      const std::uint32_t* id = cell_ids_.data() + cell_start_[cell];
-      const std::uint32_t* const id_end = cell_ids_.data() + cell_start_[cell + 1];
-      for (; id != id_end; ++id) {
-        if (*id != i) fn(*id);
+      if (in_grid) scan_row(row_base_of(other), lo0, hi0);
+      int axis = 1;
+      while (axis < D) {
+        if (++offset[static_cast<std::size_t>(axis)] <= w) break;
+        offset[static_cast<std::size_t>(axis)] = -w;
+        ++axis;
       }
+      if (axis == D) break;
     }
-    int axis = 0;
-    while (axis < D) {
-      if (++offset[axis] <= w) break;
-      offset[axis] = -w;
-      ++axis;
-    }
-    if (axis == D) break;
   }
 }
 
@@ -350,7 +426,7 @@ void KineticEmstEngine<D>::full_rebuild(std::span<const Point<D>> points,
   radius_ = radius;
   r2_ = radius * radius;
   rebuild_kinetic_grid(points);
-  prev_points_.assign(points.begin(), points.end());
+  prev_.assign(points);
   shrink_streak_ = 0;
   stats_.radius = radius_;
   stats_.candidate_edges = edges_.size();
@@ -435,13 +511,16 @@ std::span<const WeightedEdge> KineticEmstEngine<D>::advance_impl(
     return Torus ? batch_.torus(points, side_) : batch_.euclidean(points, box);
   }
 
-  // Pass 1: exact moved-node detection against the previous step.
+  // Pass 1: exact moved-node detection against the previous step. The AoS
+  // input is gathered into the cur_ SoA store once; the vectorized
+  // tuple-compare kernel then writes the per-node flags (1 iff any
+  // coordinate differs — the same `!(Point == Point)` predicate), and a
+  // scalar sweep collects the mover ids in ascending order.
+  cur_.assign(points);
+  kernels::batch_tuple_not_equal<D>(cur_.axes(), prev_.axes(), n_, moved_flag_.data());
   moved_.clear();
   for (std::uint32_t i = 0; i < n_; ++i) {
-    if (!(points[i] == prev_points_[i])) {
-      moved_.push_back(i);
-      moved_flag_[i] = 1;
-    }
+    if (moved_flag_[i] != 0) moved_.push_back(i);
   }
   stats_.last_moved = moved_.size();
   stats_.last_superseded = 0;
@@ -469,8 +548,8 @@ std::span<const WeightedEdge> KineticEmstEngine<D>::advance_impl(
     // sub-cell — every node drifting a little, as in a mobility model's
     // start-up transient — the repair below stays cheaper than a rebuild:
     // it re-derives the same pairs from bins that barely changed, with no
-    // grid reconstruction and no radius search.
-    for (const std::uint32_t i : moved_) moved_flag_[i] = 0;
+    // grid reconstruction and no radius search. (No flag reset needed: pass
+    // 1 rewrites every moved_flag_ entry next step.)
     ++stats_.mass_move_rebuilds;
     full_rebuild<Torus>(points, radius_);
     maybe_shrink<Torus>(points);
@@ -491,14 +570,7 @@ std::span<const WeightedEdge> KineticEmstEngine<D>::advance_impl(
   // the pool must regain. Pairs of two moved nodes are emitted once, from
   // the smaller id.
   changed_.clear();
-  for (const std::uint32_t i : moved_) {
-    for_each_near<Torus>(points, i, [&](std::uint32_t j) {
-      if (moved_flag_[j] != 0 && j < i) return;
-      const double d2 = metric_d2(points[i], points[j], side_, Torus);
-      if (d2 > r2_) return;
-      changed_.push_back({d2, std::min(i, j), std::max(i, j)});
-    });
-  }
+  for (const std::uint32_t i : moved_) scan_mover<Torus>(i);
   stats_.last_delta = changed_.size();
 
   // Pass 4: sort the delta, then merge it with the surviving pool entries,
@@ -544,10 +616,11 @@ std::span<const WeightedEdge> KineticEmstEngine<D>::advance_impl(
   edges_.swap(merged_);
   stats_.last_superseded = superseded;
   stats_.candidate_edges = edges_.size();
-  for (const std::uint32_t i : moved_) {
-    moved_flag_[i] = 0;
-    prev_points_[i] = points[i];
-  }
+  // Re-baseline: cur_ IS the current positions in SoA form, so the
+  // prev-points update is an O(1) buffer swap (unmoved coordinates are equal
+  // in both stores; cur_ is fully re-gathered next step). Flags need no
+  // reset — pass 1 rewrites all of them.
+  swap(prev_, cur_);
 
   // A non-spanning candidate graph violates the "radius covers the
   // bottleneck" assumption: grow batch-style.

@@ -10,6 +10,7 @@
 #include "geometry/box.hpp"
 #include "geometry/cell_grid.hpp"
 #include "geometry/point.hpp"
+#include "geometry/point_store.hpp"
 #include "geometry/torus.hpp"
 #include "topology/emst_grid.hpp"
 #include "topology/mst.hpp"
@@ -168,7 +169,7 @@ class KineticEmstEngine {
   std::span<const WeightedEdge> advance_impl(std::span<const Point<D>> points);
   /// Batch-style rebuild: enumerate + sort + Kruskal at a doubling radius
   /// starting from `start_radius`, then rebuild the kinetic cell grid and
-  /// re-baseline prev_points_.
+  /// re-baseline the prev_ position store.
   template <bool Torus>
   void full_rebuild(std::span<const Point<D>> points, double start_radius);
   /// Kruskal over the (sorted) candidate set; true when the tree spans.
@@ -188,21 +189,29 @@ class KineticEmstEngine {
   std::array<std::size_t, D> cell_coords(const Point<D>& p) const noexcept;
   std::size_t flat_index(const std::array<std::size_t, D>& c) const noexcept;
   /// Counting-sorts cell_of_ into the flat cell_start_/cell_ids_ snapshot
-  /// consumed by for_each_near. O(n + cells) per step.
+  /// consumed by scan_mover, and gathers the matching SoA coordinate
+  /// snapshot (snap_) in CSR slot order. O(n + cells) per step.
   void build_cell_snapshot();
-  /// Visits every node j != i whose cell is within the (2w+1)^D neighborhood
-  /// of i's (current-position) cell, where w = near_window_ satisfies
-  /// w * cell_size_ >= radius_ — a superset of all nodes within the
-  /// maintained radius. Cells are sized ~radius/2 (w = 2) when the region
+  /// Re-derives every current in-radius pair of mover i and appends it to
+  /// changed_. The (2w+1)^D cell neighborhood of i's (current-position)
+  /// cell, where w = near_window_ satisfies w * cell_size_ >= radius_, is a
+  /// superset of i's radius ball. Axis 0 is the least-significant digit of
+  /// the flat cell index, so each axis-0 row of the window is ONE contiguous
+  /// CSR slot run (two after a torus wrap split): the squared distances of a
+  /// whole run are computed by one batched kernel call over the snap_ SoA
+  /// snapshot, then filtered in slot order. Torus grids too coarse for
+  /// wrap-distinct neighbor cells (cells_per_axis < 2w+1) batch over all
+  /// nodes instead. Cells are sized ~radius/2 (w = 2) when the region
   /// allows, which over-scans ~(2.5/3)^D less area than radius-sized cells.
-  /// Torus grids too coarse for wrap-distinct neighbor cells
-  /// (cells_per_axis < 2w+1) scan all nodes instead.
-  template <bool Torus, typename Fn>
-  void for_each_near(std::span<const Point<D>> points, std::uint32_t i, Fn&& fn) const;
-
-  static double metric_d2(const Point<D>& a, const Point<D>& b, double side, bool torus) noexcept {
-    return torus ? torus_squared_distance(a, b, side) : squared_distance(a, b);
-  }
+  template <bool Torus>
+  void scan_mover(std::uint32_t i);
+  /// One batched kernel call + in-radius filter over the slot run
+  /// [run_begin, run_end): candidate i (coordinates `q`) against
+  /// snap_/cell_ids_, or against cur_ directly (ids = identity) when
+  /// `direct_index` — the torus all-scan fallback.
+  template <bool Torus>
+  void emit_mover_run(std::uint32_t i, const double* q, std::size_t run_begin,
+                      std::size_t run_end, bool direct_index);
 
   // Trace configuration.
   bool started_ = false;
@@ -212,7 +221,7 @@ class KineticEmstEngine {
   std::size_t n_ = 0;
 
   // Maintained candidate radius (repair invariant: edges_ holds exactly the
-  // pairs with d2 <= r2_ at prev_points_, sorted by (d2, u, v)).
+  // pairs with d2 <= r2_ at the prev_ positions, sorted by (d2, u, v)).
   double radius_ = 0.0;
   double r2_ = 0.0;
   std::size_t shrink_streak_ = 0;
@@ -233,13 +242,23 @@ class KineticEmstEngine {
   CellGrid<D> grid_;     ///< full-rebuild enumeration only
   EmstEngine<D> batch_;  ///< dense-mode delegate (identical dense code path)
 
-  std::vector<Point<D>> prev_points_;
+  // SoA position state (geometry/point_store.hpp). cur_ is the current
+  // step's gather; prev_ holds the positions the pool and bins were derived
+  // at (the repair-invariant baseline) and is refreshed by an O(1) swap with
+  // cur_ — unmoved coordinates are equal in both, movers were just
+  // re-derived. snap_ mirrors cell_ids_ in CSR slot order so scan_mover's
+  // batched kernels stream contiguous memory.
+  PointStore<D> cur_;
+  PointStore<D> prev_;
+  PointStore<D> snap_;
+  std::vector<double> near_d2_;  ///< batched-kernel d2 output, sized n
+
   std::vector<Candidate> edges_;    ///< the invariant candidate set
   std::vector<Candidate> changed_;  ///< recomputed + entering edges, sorted per step
   std::vector<Candidate> merged_;   ///< merge target, swapped with edges_
   std::vector<Candidate> radix_tmp_;  ///< scatter scratch for sort_candidates
   std::vector<std::uint32_t> moved_;
-  std::vector<char> moved_flag_;
+  std::vector<std::uint8_t> moved_flag_;
 
   /// Union-by-size forest with path halving, specialized for the per-step
   /// Kruskal loop: 32-bit ids keep both arrays L1-sized (graph/union_find.hpp

@@ -11,10 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <span>
+#include <vector>
 
 #include "geometry/box.hpp"
+#include "geometry/point_store.hpp"
 #include "mobility/factory.hpp"
 #include "sim/deployment.hpp"
 #include "sim/mobile_trace.hpp"
@@ -138,6 +142,40 @@ TEST(AllocDiscipline, KineticAdvanceMakesZeroSteadyStateAllocations) {
   EXPECT_EQ(g_news, 0u) << "a warm kinetic advance() touched the heap";
   EXPECT_GT(kinetic.stats().incremental_repairs, repairs_before)
       << "measurement window never took the incremental path";
+}
+
+TEST(AllocDiscipline, WarmPointStoreOperationsNeverTouchTheHeap) {
+  // The SoA bridge feeds every warm step (kinetic snapshots, waypoint
+  // scratch), so its whole surface — assign, both gathers, scatter, resize
+  // within capacity, swap — must be allocation-free once capacity has grown.
+  const std::size_t n = 512;
+  Rng rng(0xA110C3ull);
+  const Box2 box(64.0);
+  auto points = uniform_deployment(n, box, rng);
+  std::vector<std::size_t> ids(n);
+  std::vector<std::uint32_t> ids32(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = n - 1 - i;
+    ids32[i] = static_cast<std::uint32_t>(i / 2);
+  }
+
+  PointStore<2> a, b;
+  a.reserve(n);
+  b.reserve(n);
+
+  g_news = 0;
+  g_counting = true;
+  for (int round = 0; round < 50; ++round) {
+    a.assign(points);
+    b.assign_gather(points, ids);
+    b.assign_gather(a, std::span<const std::uint32_t>(ids32));
+    b.clear();
+    b.resize(n);
+    swap(a, b);
+    a.scatter_to(points);
+  }
+  g_counting = false;
+  EXPECT_EQ(g_news, 0u) << "a warm PointStore operation touched the heap";
 }
 
 TEST(AllocDiscipline, RepeatedTracesOnWarmWorkspaceStayBounded) {

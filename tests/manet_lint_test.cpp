@@ -43,7 +43,8 @@ TEST(LintRuleTable, IsWellFormed) {
   EXPECT_EQ(find_rule("no-such-rule"), nullptr);
   // The rules the determinism contract documents must all exist.
   for (const char* id : {"locale-parse", "locale-format", "nondet-random", "nondet-time",
-                         "nondet-ordering", "thread-confinement", "process-control"}) {
+                         "nondet-ordering", "thread-confinement", "simd-confinement",
+                         "process-control"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
 }
@@ -158,6 +159,42 @@ TEST(LintThreadConfinement, CleanInsideParallelAndOutsideSrc) {
   EXPECT_TRUE(lint("src/support/parallel.cpp", "std::mutex lock;\n").empty());
   EXPECT_TRUE(lint("tests/foo_test.cpp", "std::thread t([] {});\n").empty());
   EXPECT_TRUE(lint("src/core/foo.cpp", "int progress_mutex_count = 0;\n").empty());
+}
+
+// ----- simd-confinement ---------------------------------------------------
+
+TEST(LintSimdConfinement, FlagsIntrinsicsHeadersAndProbesOutsideTheKernelSeam) {
+  const auto diags = lint("src/core/foo.cpp",
+                          "#include <immintrin.h>\n"
+                          "__m256d acc = _mm256_setzero_pd();\n"
+                          "bool ok = __builtin_cpu_supports(\"avx2\");\n");
+  // Line 2 carries two banned runs (__m256d and the _mm256_ call); one
+  // diagnostic each.
+  EXPECT_EQ(count_rule(diags, "simd-confinement"), 4u);
+}
+
+TEST(LintSimdConfinement, PrefixMatchCoversTheOpenEndedIntrinsicFamily) {
+  const auto diags = lint("bench/foo.cpp",
+                          "auto a = _mm512_add_pd(x, y);\n"
+                          "__m128i v = _mm_set1_epi32(1);\n");
+  EXPECT_EQ(count_rule(diags, "simd-confinement"), 3u);
+}
+
+TEST(LintSimdConfinement, AllowedInsideDistanceKernelsHpp) {
+  EXPECT_TRUE(lint("src/geometry/distance_kernels.hpp",
+                   "#include <immintrin.h>\n"
+                   "__m256d q0 = _mm256_set1_pd(q[0]);\n")
+                  .empty());
+}
+
+TEST(LintSimdConfinement, CleanOnLookAlikeIdentifiers) {
+  // Names that merely *contain* an intrinsic-looking substring, or banned
+  // components reached as member accesses, must not flag.
+  EXPECT_TRUE(lint("src/core/foo.cpp",
+                   "int comm_count = 0;\n"
+                   "double ommitted = simd_width_free_name;\n"
+                   "obj._mm_like_member();\n")
+                  .empty());
 }
 
 // ----- process-control ----------------------------------------------------

@@ -18,6 +18,7 @@ Pattern component_call(std::string text) {
   return Pattern{std::move(text), MatchKind::kComponent, true};
 }
 Pattern exact(std::string text) { return Pattern{std::move(text), MatchKind::kExact, false}; }
+Pattern prefix(std::string text) { return Pattern{std::move(text), MatchKind::kPrefix, false}; }
 
 std::vector<Rule> build_rules() {
   std::vector<Rule> table;
@@ -95,6 +96,23 @@ std::vector<Rule> build_rules() {
        component("future"), component("promise"), component("async"), component("barrier"),
        component("latch"), component("semaphore"), component("counting_semaphore"),
        component("binary_semaphore")},
+  });
+
+  table.push_back(Rule{
+      "simd-confinement",
+      "SIMD intrinsics, vector-pragma hints and CPU-feature probes are "
+      "confined to src/geometry/distance_kernels.hpp (every vector lane must "
+      "go through the batched kernels, whose bit-identity to the scalar path "
+      "is proven once, there)",
+      {"src", "bench", "tests"},
+      {"src/geometry/distance_kernels.hpp"},
+      {component("immintrin"), component("x86intrin"), component("emmintrin"),
+       component("xmmintrin"), component("smmintrin"), component("tmmintrin"),
+       component("nmmintrin"), component("pmmintrin"), component("avxintrin"),
+       component("avx2intrin"), component("avx512fintrin"), component("arm_neon"),
+       component("arm_sve"), component("ivdep"), component("omp"),
+       prefix("_mm"), prefix("__m128"), prefix("__m256"), prefix("__m512"),
+       component_call("__builtin_cpu_supports"), component_call("__builtin_cpu_init")},
   });
 
   table.push_back(Rule{
@@ -536,7 +554,11 @@ std::vector<Diagnostic> lint_source(std::string_view path, std::string_view text
               if (run_text == pattern.text) match_component = 0;
             } else {
               for (std::size_t k = 0; k < run.components.size(); ++k) {
-                if (run.components[k] == pattern.text) {
+                const std::string_view comp = run.components[k];
+                const bool hit = pattern.kind == MatchKind::kPrefix
+                                     ? comp.substr(0, pattern.text.size()) == pattern.text
+                                     : comp == pattern.text;
+                if (hit) {
                   match_component = k;
                   break;
                 }

@@ -43,6 +43,10 @@ enum class MatchKind {
   /// would collide with a legitimate name (`std::fixed` must not flag
   /// `std::chars_format::fixed`).
   kExact,
+  /// Any component *starts with* the pattern text; the only way to cover an
+  /// open-ended intrinsic family (`_mm_`, `_mm256_`, `vqaddq_`...) whose
+  /// members cannot be enumerated.
+  kPrefix,
 };
 
 struct Pattern {
