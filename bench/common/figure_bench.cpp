@@ -1,6 +1,7 @@
 #include "common/figure_bench.hpp"
 
 #include "campaign/cli.hpp"
+#include "service/cli.hpp"
 #include "support/bench_json.hpp"
 #include "support/metrics.hpp"
 
@@ -33,7 +34,10 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
   cli.add_flag("csv", "emit CSV instead of an aligned table");
   cli.add_flag("metrics",
                "append the run-metrics JSON (counters/timings) after the table");
-  if (with_campaign) campaign::add_campaign_cli_options(cli);
+  if (with_campaign) {
+    campaign::add_campaign_cli_options(cli);
+    service::add_drain_cli_options(cli);
+  }
 
   try {
     cli.parse(argc, argv);
@@ -64,14 +68,28 @@ std::optional<FigureOptions> parse_figure_options(int argc, const char* const* a
   }
   options.threads = static_cast<std::size_t>(cli.uint_value("threads"));
   if (options.threads != 0) set_max_parallelism(options.threads);
-  if (with_campaign && campaign::campaign_requested(cli)) {
+  if (with_campaign && (campaign::campaign_requested(cli) || service::drain_requested(cli))) {
     options.campaign = true;
     options.campaign_name = campaign_name_from_summary(summary);
-    // Inconsistent campaign flags raise ConfigError out of here; the
+    // Inconsistent campaign/drain flags raise ConfigError out of here; the
     // campaign-enabled figure mains convert that into exit code 1.
     options.campaign_options = campaign::campaign_options_from_cli(cli, options.campaign_name);
+    if (service::drain_requested(cli)) {
+      options.distributed = true;
+      options.drain_options = service::drain_options_from_cli(cli, options.campaign_name);
+    }
   }
   return options;
+}
+
+std::unique_ptr<MtrmSweepExecutor> make_sweep_executor(const FigureOptions& options) {
+  if (!options.campaign) return nullptr;
+  if (options.distributed) {
+    return std::make_unique<service::DistributedCampaignRunner>(options.campaign_name,
+                                                                options.drain_options);
+  }
+  return std::make_unique<campaign::CampaignRunner>(options.campaign_name,
+                                                    options.campaign_options);
 }
 
 double stationary_reference_range(double l, std::size_t n, std::size_t trials,
@@ -176,7 +194,7 @@ std::vector<FigurePoint> solve_l_sweep(const FigureOptions& options, bool drunka
 /// only the campaign path is resumable (DESIGN.md §11).
 std::vector<FigurePoint> solve_l_sweep_campaign(const FigureOptions& options, bool drunkard,
                                                 bool with_stationary_reference,
-                                                campaign::CampaignRunner& runner) {
+                                                MtrmSweepExecutor& executor) {
   const ScaleParams scale = options.scale();
   const auto l_values = experiments::figure_l_values();
 
@@ -188,7 +206,7 @@ std::vector<FigurePoint> solve_l_sweep_campaign(const FigureOptions& options, bo
     apply_scale(config, options);
     configs.push_back(config);
   }
-  const auto results = experiments::solve_mtrm_sweep(configs, options.seed, &runner);
+  const auto results = experiments::solve_mtrm_sweep(configs, options.seed, &executor);
 
   std::vector<FigurePoint> points(l_values.size());
   for (std::size_t li = 0; li < l_values.size(); ++li) {
@@ -206,9 +224,9 @@ std::vector<FigurePoint> solve_l_sweep_campaign(const FigureOptions& options, bo
 
 std::vector<FigurePoint> solve_l_sweep_dispatch(const FigureOptions& options, bool drunkard,
                                                 bool with_stationary_reference,
-                                                campaign::CampaignRunner* runner) {
-  if (runner != nullptr) {
-    return solve_l_sweep_campaign(options, drunkard, with_stationary_reference, *runner);
+                                                MtrmSweepExecutor* executor) {
+  if (executor != nullptr) {
+    return solve_l_sweep_campaign(options, drunkard, with_stationary_reference, *executor);
   }
   return solve_l_sweep(options, drunkard, with_stationary_reference);
 }
@@ -217,13 +235,13 @@ std::vector<FigurePoint> solve_l_sweep_dispatch(const FigureOptions& options, bo
 
 void run_ratio_figure(const FigureOptions& options, bool drunkard,
                       const std::string& title, const std::vector<PaperSeries>& paper,
-                      campaign::CampaignRunner* runner) {
+                      MtrmSweepExecutor* executor) {
   TextTable table({"l", "n", "r_stationary", "r100/rs", "paper", "r90/rs", "paper",
                    "r10/rs", "paper", "r0/rs", "paper"});
 
   const auto l_values = experiments::figure_l_values();
   const auto points =
-      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/true, runner);
+      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/true, executor);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);
@@ -245,12 +263,12 @@ void run_ratio_figure(const FigureOptions& options, bool drunkard,
 
 void run_component_figure(const FigureOptions& options, bool drunkard,
                           const std::string& title, const std::vector<PaperSeries>& paper,
-                          campaign::CampaignRunner* runner) {
+                          MtrmSweepExecutor* executor) {
   TextTable table({"l", "n", "LCC@r90", "paper", "LCC@r10", "paper", "LCC@r0", "paper"});
 
   const auto l_values = experiments::figure_l_values();
   const auto points =
-      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/false, runner);
+      solve_l_sweep_dispatch(options, drunkard, /*with_stationary_reference=*/false, executor);
   for (std::size_t li = 0; li < l_values.size(); ++li) {
     const double l = l_values[li];
     const std::size_t n = experiments::paper_node_count(l);

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/experiments.hpp"
 #include "core/mtr.hpp"
 #include "core/mtrm.hpp"
+#include "service/drain.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -44,6 +46,11 @@ struct FigureOptions {
   /// ("fig7_pstationary").
   std::string campaign_name;
   campaign::CampaignOptions campaign_options;
+  /// Distributed mode (--distributed / --worker-id, service/cli.hpp): drain
+  /// the campaign cooperatively through unit leases instead of running it
+  /// single-process. Implies campaign mode.
+  bool distributed = false;
+  service::DrainOptions drain_options;
 
   ScaleParams scale() const {
     ScaleParams params = scale_for(preset);
@@ -61,6 +68,13 @@ struct FigureOptions {
 std::optional<FigureOptions> parse_figure_options(int argc, const char* const* argv,
                                                   const std::string& summary,
                                                   bool with_campaign = false);
+
+/// Builds the sweep executor the parsed options ask for: nullptr (legacy
+/// in-process sweep), a campaign::CampaignRunner (--campaign), or a
+/// service::DistributedCampaignRunner (--distributed) that cooperatively
+/// drains the same store alongside other workers. All three produce
+/// bit-identical campaign artifacts; see DESIGN.md §16.
+std::unique_ptr<MtrmSweepExecutor> make_sweep_executor(const FigureOptions& options);
 
 /// r_stationary for n nodes in [0, l]^2 (DESIGN.md convention 1): the
 /// `quantile` of the stationary critical-radius distribution.
@@ -91,18 +105,18 @@ struct PaperSeries {
 /// Figures 2-3 runner: the ratios r100/r90/r10/r0 over r_stationary for
 /// l in {256, 1K, 4K, 16K} under the given mobility configuration factory.
 /// `paper` supplies the digitized reference series in the same order.
-/// With a non-null `runner` the MTRM sweep goes through the campaign runner
-/// (resumable); the stationary reference then draws from its own substream,
-/// so campaign-mode numbers differ from (equally valid) legacy-mode ones —
-/// see DESIGN.md §11.
+/// With a non-null `executor` the MTRM sweep goes through that runner
+/// (resumable campaign or distributed drain — make_sweep_executor); the
+/// stationary reference then draws from its own substream, so campaign-mode
+/// numbers differ from (equally valid) legacy-mode ones — see DESIGN.md §11.
 void run_ratio_figure(const FigureOptions& options, bool drunkard,
                       const std::string& title, const std::vector<PaperSeries>& paper,
-                      campaign::CampaignRunner* runner = nullptr);
+                      MtrmSweepExecutor* executor = nullptr);
 
 /// Figures 4-5 runner: the mean largest-connected-component fraction at
 /// r90 / r10 / r0 for the same sweep.
 void run_component_figure(const FigureOptions& options, bool drunkard,
                           const std::string& title, const std::vector<PaperSeries>& paper,
-                          campaign::CampaignRunner* runner = nullptr);
+                          MtrmSweepExecutor* executor = nullptr);
 
 }  // namespace manet::bench

@@ -28,11 +28,10 @@ int run(int argc, char** argv) {
       {"r10/rs", {0.40, 0.42, 0.44, 0.47}},
       {"r0/rs", {0.25, 0.28, 0.31, 0.35}},
   };
-  std::optional<campaign::CampaignRunner> runner;
-  if (options->campaign) runner.emplace(options->campaign_name, options->campaign_options);
+  const auto executor = make_sweep_executor(*options);
   run_ratio_figure(*options, /*drunkard=*/false,
                    "Figure 2 — r_x / r_stationary vs l (random waypoint)", paper,
-                   runner ? &*runner : nullptr);
+                   executor.get());
   return 0;
 }
 

@@ -51,10 +51,8 @@ int run(int argc, char** argv) {
     config.time_fractions = {1.0};
     configs.push_back(config);
   }
-  std::optional<campaign::CampaignRunner> runner;
-  if (options->campaign) runner.emplace(options->campaign_name, options->campaign_options);
-  const auto results =
-      experiments::solve_mtrm_sweep(configs, options->seed, runner ? &*runner : nullptr);
+  const auto executor = make_sweep_executor(*options);
+  const auto results = experiments::solve_mtrm_sweep(configs, options->seed, executor.get());
 
   TextTable table({"p_stationary", "r100/rs", "paper (approx)"});
   for (std::size_t i = 0; i < p_values.size(); ++i) {

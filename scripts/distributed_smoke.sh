@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed drain + manetd query service
+# (DESIGN.md §16) with real processes — the in-process variants live in
+# tests/distributed_drain_test.cpp and tests/manetd_test.cpp:
+#
+#   1. run a tiny fig7 campaign single-process as the byte-identity reference,
+#   2. drain the same campaign with 4 concurrent --distributed workers, one
+#      of them hard-killed mid-unit (--kill-after, exit code 42) so a
+#      dangling lease has to go stale and be stolen by a survivor,
+#   3. assert the merged result.json AND the surviving workers' stdout tables
+#      are byte-identical to the single-process run,
+#   4. fsck the shared store (clean), corrupt an entry (fsck fails),
+#      quarantine it, re-drain with --resume (store heals), fsck again,
+#   5. serve the campaign with manetd over a Unix-domain socket, assert
+#      repeated identical queries return identical bytes with the cache hits
+#      visible in "stats", then shut the server down cleanly.
+#
+# Usage: scripts/distributed_smoke.sh <fig7_pstationary> <manetd> <manet_store> [workdir]
+set -euo pipefail
+
+fig_bin="${1:?usage: scripts/distributed_smoke.sh <fig7_pstationary> <manetd> <manet_store> [workdir]}"
+manetd_bin="${2:?usage: scripts/distributed_smoke.sh <fig7_pstationary> <manetd> <manet_store> [workdir]}"
+store_bin="${3:?usage: scripts/distributed_smoke.sh <fig7_pstationary> <manetd> <manet_store> [workdir]}"
+work="${4:-$(mktemp -d)}"
+mkdir -p "${work}"
+
+common_flags=(--preset quick --csv --campaign-quiet)
+ref_dir="${work}/reference" ref_store="${work}/reference-store"
+dist_dir="${work}/dist" dist_store="${work}/dist-store"
+
+echo "distributed smoke: workdir ${work}" >&2
+
+# 1. Single-process reference run.
+"${fig_bin}" "${common_flags[@]}" --campaign-dir "${ref_dir}" --store-dir "${ref_store}" \
+  > "${work}/reference.out" 2> "${work}/reference.err"
+
+# 2. Four concurrent drain workers on one campaign/store pair. Worker w0 is
+# hard-killed mid-unit, before its current unit is persisted, leaving a
+# dangling lease; --lease-ttl 2 lets a survivor steal it within the smoke's
+# time budget (live workers heartbeat every iteration, far inside 2s).
+drain_flags=(--distributed --lease-ttl 2 --drain-poll 0.1
+             --campaign-dir "${dist_dir}" --store-dir "${dist_store}")
+"${fig_bin}" "${common_flags[@]}" "${drain_flags[@]}" --worker-id w0 --kill-after 10 \
+  > "${work}/w0.out" 2> "${work}/w0.err" &
+kill_pid=$!
+worker_pids=()
+for w in 1 2 3; do
+  "${fig_bin}" "${common_flags[@]}" "${drain_flags[@]}" --worker-id "w${w}" \
+    > "${work}/w${w}.out" 2> "${work}/w${w}.err" &
+  worker_pids+=($!)
+done
+
+set +e
+wait "${kill_pid}"
+kill_status=$?
+set -e
+if [[ "${kill_status}" -ne 42 ]]; then
+  echo "FAIL: --kill-after worker exited ${kill_status}, expected the kill exit code 42" >&2
+  exit 1
+fi
+for pid in "${worker_pids[@]}"; do
+  wait "${pid}" || {
+    echo "FAIL: a surviving drain worker failed; see ${work}/w*.err" >&2
+    exit 1
+  }
+done
+
+# 3. Byte-identity: merged result.json and every survivor's table must match
+# the single-process run exactly.
+cmp "${dist_dir}/result.json" "${ref_dir}/result.json" || {
+  echo "FAIL: distributed result.json differs from the single-process run" >&2
+  exit 1
+}
+for w in 1 2 3; do
+  cmp "${work}/w${w}.out" "${work}/reference.out" || {
+    echo "FAIL: worker w${w} stdout differs from the single-process run" >&2
+    exit 1
+  }
+  if [[ ! -f "${dist_dir}/metrics-w${w}.json" ]]; then
+    echo "FAIL: worker w${w} did not write its metrics-w${w}.json" >&2
+    exit 1
+  fi
+done
+
+# 4. Store integrity: clean audit, then a corrupted entry must fail the
+# audit, quarantine must move it aside, and a --resume drain must heal the
+# store back to the same bytes.
+"${store_bin}" --fsck --store-dir "${dist_store}" > /dev/null
+victim="$(ls "${dist_store}"/*.json | head -n 1)"
+echo "garbage, not a store entry" > "${victim}"
+set +e
+"${store_bin}" --fsck --store-dir "${dist_store}" > /dev/null 2>&1
+fsck_status=$?
+set -e
+if [[ "${fsck_status}" -ne 1 ]]; then
+  echo "FAIL: fsck of a corrupted store exited ${fsck_status}, expected 1" >&2
+  exit 1
+fi
+set +e
+"${store_bin}" --fsck --quarantine --store-dir "${dist_store}" > "${work}/fsck.out" 2>&1
+set -e
+if [[ -e "${victim}" ]] || [[ ! -e "${dist_store}/quarantine/$(basename "${victim}")" ]]; then
+  echo "FAIL: quarantine did not move the corrupted entry aside" >&2
+  exit 1
+fi
+"${fig_bin}" "${common_flags[@]}" "${drain_flags[@]}" --worker-id heal --resume \
+  > "${work}/heal.out" 2> "${work}/heal.err"
+"${store_bin}" --fsck --store-dir "${dist_store}" > /dev/null
+cmp "${dist_dir}/result.json" "${ref_dir}/result.json" || {
+  echo "FAIL: healed result.json differs from the single-process run" >&2
+  exit 1
+}
+
+# 5. manetd: serve the drained campaign, ask the same query twice from
+# separate client processes (byte-identical answers, cache hit visible in
+# stats), then stop the server.
+sock="${work}/manetd.sock"
+"${manetd_bin}" --socket "${sock}" --campaign-dir "${dist_dir}" --quiet \
+  > "${work}/manetd.out" 2> "${work}/manetd.err" &
+server_pid=$!
+trap 'kill "${server_pid}" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [[ -S "${sock}" ]] && break
+  sleep 0.05
+done
+
+query='{"op": "rquantile", "campaign": "fig7_pstationary", "point": 0, "fraction": 0.95}'
+"${manetd_bin}" --connect "${sock}" --query "${query}" > "${work}/q1.out"
+"${manetd_bin}" --connect "${sock}" --query "${query}" > "${work}/q2.out"
+cmp "${work}/q1.out" "${work}/q2.out" || {
+  echo "FAIL: repeated identical queries returned different bytes" >&2
+  exit 1
+}
+grep -q '"ok": *true' "${work}/q1.out" || {
+  echo "FAIL: query was not answered ok: $(cat "${work}/q1.out")" >&2
+  exit 1
+}
+
+"${manetd_bin}" --connect "${sock}" --query '{"op": "stats"}' > "${work}/stats.out"
+cache_hits="$(grep -o '"cache_hits": *[0-9]*' "${work}/stats.out" | grep -o '[0-9]*$')"
+if [[ "${cache_hits:-0}" -lt 1 ]]; then
+  echo "FAIL: stats report ${cache_hits:-0} cache hits after a repeated query" >&2
+  exit 1
+fi
+
+"${manetd_bin}" --connect "${sock}" --query '{"op": "stop"}' > /dev/null
+wait "${server_pid}" || {
+  echo "FAIL: manetd did not shut down cleanly on the stop op" >&2
+  exit 1
+}
+trap - EXIT
+
+echo "distributed smoke: OK (4 workers, one killed and stolen from, result.json" \
+  "bit-identical; store fsck'd, corrupted, quarantined and healed; manetd" \
+  "answered with ${cache_hits} cache hit(s) and stopped cleanly)" >&2

@@ -26,35 +26,40 @@ namespace {
 std::mutex g_kill_hook_mutex;
 detail::KillHook g_kill_hook;  // NOLINT(cert-err58-cpp)
 
-/// Fault injection: by default die the way a crash would — std::_Exit, no
-/// destructors, no stream flushes. Tests install a throwing hook instead.
-void trigger_kill() {
-  detail::KillHook hook;
-  {
-    const std::lock_guard<std::mutex> lock(g_kill_hook_mutex);
-    hook = g_kill_hook;
-  }
-  if (hook) {
-    hook();
-    return;
-  }
-  std::_Exit(kKillExitCode);
-}
-
 double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
-/// One decomposed work unit: iterations [begin, end) of sweep point `point`.
-struct UnitWork {
-  std::size_t point = 0;
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  std::string canonical;
-  std::uint64_t key = 0;
-};
+/// Mobility parameters as a JSON object mirroring canonical_unit_string's
+/// per-kind field set — the sweep axis the manetd phase queries interpolate
+/// over. Insertion order is fixed, so the rendering is deterministic.
+JsonValue mobility_params_json(const MobilityConfig& mobility) {
+  JsonValue params = JsonValue::object();
+  switch (mobility.kind) {
+    case MobilityKind::kStationary:
+      break;
+    case MobilityKind::kRandomWaypoint:
+      params.set("v_min", JsonValue::number(mobility.waypoint.v_min));
+      params.set("v_max", JsonValue::number(mobility.waypoint.v_max));
+      params.set("pause_steps", JsonValue::number(mobility.waypoint.pause_steps));
+      params.set("p_stationary", JsonValue::number(mobility.waypoint.p_stationary));
+      break;
+    case MobilityKind::kDrunkard:
+      params.set("p_stationary", JsonValue::number(mobility.drunkard.p_stationary));
+      params.set("p_pause", JsonValue::number(mobility.drunkard.p_pause));
+      params.set("step_radius", JsonValue::number(mobility.drunkard.step_radius));
+      break;
+    case MobilityKind::kRandomDirection:
+      params.set("v_min", JsonValue::number(mobility.direction.v_min));
+      params.set("v_max", JsonValue::number(mobility.direction.v_max));
+      params.set("p_turn", JsonValue::number(mobility.direction.p_turn));
+      params.set("p_stationary", JsonValue::number(mobility.direction.p_stationary));
+      break;
+  }
+  return params;
+}
 
 /// Campaign accounting, exported to <campaign-dir>/metrics.json. Replaces the
 /// old per-unit stderr telemetry as the machine-readable progress record; the
@@ -83,7 +88,140 @@ void set_kill_hook(KillHook hook) {
   g_kill_hook = std::move(hook);
 }
 
+void trigger_kill() {
+  KillHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(g_kill_hook_mutex);
+    hook = g_kill_hook;
+  }
+  if (hook) {
+    hook();
+    return;
+  }
+  std::_Exit(kKillExitCode);
+}
+
 }  // namespace detail
+
+std::vector<UnitWork> decompose_sweep(const std::vector<MtrmSweepPoint>& points,
+                                      std::size_t unit_iterations) {
+  std::vector<UnitWork> units;
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    const std::size_t iterations = points[point].config.iterations;
+    std::size_t block = unit_iterations;
+    if (block == 0) block = std::max<std::size_t>(1, iterations / 8);
+    block = std::min(block, iterations);
+    for (std::size_t begin = 0; begin < iterations; begin += block) {
+      const std::size_t end = std::min(begin + block, iterations);
+      UnitWork unit;
+      unit.point = point;
+      unit.begin = begin;
+      unit.end = end;
+      unit.canonical = canonical_unit_string(points[point], begin, end);
+      unit.key = unit_key(unit.canonical);
+      units.push_back(std::move(unit));
+    }
+  }
+  return units;
+}
+
+std::uint64_t campaign_key_for(const std::string& name, const std::vector<UnitWork>& units) {
+  std::uint64_t campaign_key = fnv1a(name);
+  campaign_key = fnv1a("\n", campaign_key);
+  for (const UnitWork& unit : units) {
+    campaign_key = fnv1a(unit.canonical, campaign_key);
+    campaign_key = fnv1a("\n", campaign_key);
+  }
+  return campaign_key;
+}
+
+void validate_resume_manifest(const std::filesystem::path& manifest_path,
+                              std::uint64_t campaign_key) {
+  std::error_code ec;
+  if (!std::filesystem::exists(manifest_path, ec) || ec) {
+    throw ConfigError("campaign --resume: no manifest at " + manifest_path.string() +
+                      " (run without --resume to start this campaign)");
+  }
+  const Manifest previous = load_manifest(manifest_path);
+  if (previous.campaign_key != campaign_key) {
+    throw ConfigError("campaign --resume: manifest at " + manifest_path.string() +
+                      " describes campaign '" + previous.campaign + "' (key " +
+                      hex_u64(previous.campaign_key) + "), not the requested sweep (key " +
+                      hex_u64(campaign_key) + "); use a fresh --campaign-dir");
+  }
+}
+
+std::vector<MtrmIterationOutcome> execute_unit(
+    const MtrmSweepPoint& point, const UnitWork& unit,
+    const std::function<void()>& on_iteration) {
+  std::vector<MtrmIterationOutcome> outcomes;
+  outcomes.reserve(unit.end - unit.begin);
+  for (std::size_t iteration = unit.begin; iteration < unit.end; ++iteration) {
+    Rng iteration_rng = substream(point.trial_root, iteration);
+    outcomes.push_back(run_mtrm_iteration<2>(point.config, iteration_rng));
+    if (on_iteration) on_iteration();
+  }
+  return outcomes;
+}
+
+std::vector<MtrmResult> merge_unit_outcomes(
+    const std::vector<MtrmSweepPoint>& points, const std::vector<UnitWork>& units,
+    std::vector<std::vector<MtrmIterationOutcome>>&& unit_outcomes) {
+  std::vector<std::vector<MtrmIterationOutcome>> per_point(points.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    auto& destination = per_point[units[i].point];
+    for (MtrmIterationOutcome& outcome : unit_outcomes[i]) {
+      destination.push_back(std::move(outcome));
+    }
+  }
+  std::vector<MtrmResult> results;
+  results.reserve(points.size());
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    results.push_back(fold_mtrm_outcomes(points[point].config, per_point[point]));
+  }
+  return results;
+}
+
+void write_campaign_result(const std::filesystem::path& dir, const std::string& name,
+                           std::uint64_t campaign_key,
+                           const std::vector<MtrmSweepPoint>& points,
+                           const std::vector<UnitWork>& units,
+                           const std::vector<MtrmResult>& results) {
+  BenchReport result_report("campaign_" + name);
+  result_report.add_param("campaign", JsonValue::string(name));
+  result_report.add_param("campaign_key", JsonValue::string(hex_u64(campaign_key)));
+  result_report.add_param("points", JsonValue::number(points.size()));
+  result_report.add_param("units", JsonValue::number(units.size()));
+  for (std::size_t point = 0; point < points.size(); ++point) {
+    const MtrmConfig& config = points[point].config;
+    JsonValue sample = JsonValue::object();
+    sample.set("point", JsonValue::number(point));
+    sample.set("node_count", JsonValue::number(config.node_count));
+    sample.set("side", JsonValue::number(config.side));
+    sample.set("steps", JsonValue::number(config.steps));
+    sample.set("iterations", JsonValue::number(config.iterations));
+    sample.set("mobility", JsonValue::string(mobility_kind_name(config.mobility.kind)));
+    sample.set("mobility_params", mobility_params_json(config.mobility));
+    JsonValue time_fractions = JsonValue::array();
+    for (const double f : config.time_fractions) {
+      time_fractions.push_back(JsonValue::number(f));
+    }
+    sample.set("time_fractions", std::move(time_fractions));
+    JsonValue component_fractions = JsonValue::array();
+    for (const double phi : config.component_fractions) {
+      component_fractions.push_back(JsonValue::number(phi));
+    }
+    sample.set("component_fractions", std::move(component_fractions));
+    sample.set("trial_root", JsonValue::string(hex_u64(points[point].trial_root)));
+    const std::vector<double> flattened = flatten_mtrm_result(results[point]);
+    sample.set("result_checksum", JsonValue::string(hex_u64(fnv1a_bits(flattened))));
+    JsonValue values = JsonValue::array();
+    for (const double value : flattened) values.push_back(JsonValue::number(value));
+    sample.set("flattened_result", std::move(values));
+    result_report.add_sample(std::move(sample));
+  }
+  write_text_file_atomic(dir / "result.json", result_report.dump());
+}
 
 CampaignRunner::CampaignRunner(std::string name, CampaignOptions options)
     : name_(std::move(name)), options_(std::move(options)) {
@@ -104,53 +242,16 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
   // pure function of (points, options.unit_iterations): the same sweep
   // always decomposes identically, which is what lets a resumed process
   // recognize its predecessor's work.
-  std::vector<UnitWork> units;
-  for (std::size_t point = 0; point < points.size(); ++point) {
-    const std::size_t iterations = points[point].config.iterations;
-    std::size_t block = options_.unit_iterations;
-    if (block == 0) block = std::max<std::size_t>(1, iterations / 8);
-    block = std::min(block, iterations);
-    for (std::size_t begin = 0; begin < iterations; begin += block) {
-      const std::size_t end = std::min(begin + block, iterations);
-      UnitWork unit;
-      unit.point = point;
-      unit.begin = begin;
-      unit.end = end;
-      unit.canonical = canonical_unit_string(points[point], begin, end);
-      unit.key = unit_key(unit.canonical);
-      units.push_back(std::move(unit));
-    }
-  }
+  std::vector<UnitWork> units = decompose_sweep(points, options_.unit_iterations);
   report_.units_total = units.size();
   campaign_metrics().units_planned.add(units.size());
 
-  // Campaign identity: the name plus every unit's canonical string. Two
-  // invocations with equal sweeps agree on this key; anything else (other
-  // figure, other seed, other preset/overrides) does not.
-  std::uint64_t campaign_key = fnv1a(name_);
-  campaign_key = fnv1a("\n", campaign_key);
-  for (const UnitWork& unit : units) {
-    campaign_key = fnv1a(unit.canonical, campaign_key);
-    campaign_key = fnv1a("\n", campaign_key);
-  }
+  const std::uint64_t campaign_key = campaign_key_for(name_, units);
 
   const std::filesystem::path dir(options_.dir);
   const std::filesystem::path manifest_path = dir / "manifest.json";
 
-  if (options_.resume) {
-    std::error_code ec;
-    if (!std::filesystem::exists(manifest_path, ec) || ec) {
-      throw ConfigError("campaign --resume: no manifest at " + manifest_path.string() +
-                        " (run without --resume to start this campaign)");
-    }
-    const Manifest previous = load_manifest(manifest_path);
-    if (previous.campaign_key != campaign_key) {
-      throw ConfigError("campaign --resume: manifest at " + manifest_path.string() +
-                        " describes campaign '" + previous.campaign + "' (key " +
-                        hex_u64(previous.campaign_key) + "), not the requested sweep (key " +
-                        hex_u64(campaign_key) + "); use a fresh --campaign-dir");
-    }
-  }
+  if (options_.resume) validate_resume_manifest(manifest_path, campaign_key);
 
   Manifest manifest;
   manifest.campaign = name_;
@@ -211,14 +312,10 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
 
           const double start = now_seconds();
           std::vector<MtrmIterationOutcome> outcomes;
-          outcomes.reserve(unit.end - unit.begin);
           {
             const metrics::Timer::Scope unit_timer =
                 campaign_metrics().unit_seconds.measure();
-            for (std::size_t iteration = unit.begin; iteration < unit.end; ++iteration) {
-              Rng iteration_rng = substream(point.trial_root, iteration);
-              outcomes.push_back(run_mtrm_iteration<2>(point.config, iteration_rng));
-            }
+            outcomes = execute_unit(point, unit);
           }
           store.save(unit.canonical, outcomes);
           campaign_metrics().units_computed.increment();
@@ -259,7 +356,7 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
               std::fprintf(stderr, "[campaign %s] --kill-after %zu: simulating a crash\n",
                            name_.c_str(), options_.kill_after);
             }
-            trigger_kill();
+            detail::trigger_kill();
           }
           return outcomes;
         });
@@ -275,18 +372,8 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
   // list is point-major, block-ascending) and fold through the same
   // order-sensitive fold as solve_mtrm — the step that makes the campaign
   // result bit-identical to the in-process sweep.
-  std::vector<std::vector<MtrmIterationOutcome>> per_point(points.size());
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    auto& destination = per_point[units[i].point];
-    for (MtrmIterationOutcome& outcome : unit_outcomes[i]) {
-      destination.push_back(std::move(outcome));
-    }
-  }
-  std::vector<MtrmResult> results;
-  results.reserve(points.size());
-  for (std::size_t point = 0; point < points.size(); ++point) {
-    results.push_back(fold_mtrm_outcomes(points[point].config, per_point[point]));
-  }
+  std::vector<MtrmResult> results =
+      merge_unit_outcomes(points, units, std::move(unit_outcomes));
 
   manifest.progress.units_done = units.size();
   manifest.progress.cache_hits = report_.cache_hits;
@@ -296,33 +383,9 @@ std::vector<MtrmResult> CampaignRunner::run_points(std::vector<MtrmSweepPoint> p
   manifest.progress.complete = true;
   save_manifest_atomic(manifest_path, manifest);
 
-  // Final results artifact (support/bench_json schema). Deliberately free of
-  // timestamps, timings and cache accounting: two runs of the same campaign
-  // on the same build must produce byte-identical files, which is what the
-  // interrupt/resume smoke test compares.
-  BenchReport result_report("campaign_" + name_);
-  result_report.add_param("campaign", JsonValue::string(name_));
-  result_report.add_param("campaign_key", JsonValue::string(hex_u64(campaign_key)));
-  result_report.add_param("points", JsonValue::number(points.size()));
-  result_report.add_param("units", JsonValue::number(units.size()));
-  for (std::size_t point = 0; point < points.size(); ++point) {
-    const MtrmConfig& config = points[point].config;
-    JsonValue sample = JsonValue::object();
-    sample.set("point", JsonValue::number(point));
-    sample.set("node_count", JsonValue::number(config.node_count));
-    sample.set("side", JsonValue::number(config.side));
-    sample.set("steps", JsonValue::number(config.steps));
-    sample.set("iterations", JsonValue::number(config.iterations));
-    sample.set("mobility", JsonValue::string(mobility_kind_name(config.mobility.kind)));
-    sample.set("trial_root", JsonValue::string(hex_u64(points[point].trial_root)));
-    const std::vector<double> flattened = flatten_mtrm_result(results[point]);
-    sample.set("result_checksum", JsonValue::string(hex_u64(fnv1a_bits(flattened))));
-    JsonValue values = JsonValue::array();
-    for (const double value : flattened) values.push_back(JsonValue::number(value));
-    sample.set("flattened_result", std::move(values));
-    result_report.add_sample(std::move(sample));
-  }
-  write_text_file_atomic(dir / "result.json", result_report.dump());
+  // Final results artifact — shared with the distributed drain path, which
+  // must reproduce the exact same bytes (the CI smoke `cmp`s the two).
+  write_campaign_result(dir, name_, campaign_key, points, units, results);
 
   // Run metrics are a *separate* artifact on purpose: result.json must stay
   // byte-identical across interrupted/resumed runs of the same sweep, while

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,6 +54,69 @@ struct CampaignReport {
   double unit_seconds_total = 0.0;
 };
 
+/// One decomposed work unit: iterations [begin, end) of sweep point `point`.
+/// The `canonical` string is the unit's full identity (result_store.hpp) and
+/// `key` its content address — shared by the in-process runner, the
+/// distributed drain workers (src/service/drain.hpp) and `manet-store fsck`.
+struct UnitWork {
+  std::size_t point = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string canonical;
+  std::uint64_t key = 0;
+};
+
+/// Decomposes each point's iteration budget into [begin, end) blocks of
+/// `unit_iterations` (0 = auto: about an eighth of the point's budget, at
+/// least 1). A pure function of its arguments: every process that sees the
+/// same sweep derives the same unit list in the same order, which is the
+/// ground truth that lets independent drain workers and resumed runs agree
+/// on what the work *is* without coordinating.
+std::vector<UnitWork> decompose_sweep(const std::vector<MtrmSweepPoint>& points,
+                                      std::size_t unit_iterations);
+
+/// Campaign identity: FNV-1a over the name plus every unit's canonical
+/// string. Two invocations with equal sweeps agree on this key; anything
+/// else (other figure, other seed, other preset/overrides) does not.
+std::uint64_t campaign_key_for(const std::string& name, const std::vector<UnitWork>& units);
+
+/// Enforces the --resume contract: the manifest must exist and describe the
+/// campaign identified by `campaign_key`, else throws ConfigError.
+void validate_resume_manifest(const std::filesystem::path& manifest_path,
+                              std::uint64_t campaign_key);
+
+/// Computes one unit: iterations [unit.begin, unit.end) of `point`, each
+/// seeded by its order-independent substream. `on_iteration` (when set) runs
+/// after every finished iteration — the distributed drain worker refreshes
+/// its lease heartbeat there so a unit can never outlive its lease TTL
+/// silently. The outcome vector is bit-identical regardless of who executes
+/// the unit, which is the safety anchor of the whole lease protocol.
+std::vector<MtrmIterationOutcome> execute_unit(
+    const MtrmSweepPoint& point, const UnitWork& unit,
+    const std::function<void()>& on_iteration = {});
+
+/// Merges per-unit outcome vectors (indexed like `units`) into one result
+/// per point: concatenates each point's outcomes in iteration order (the
+/// unit list is point-major, block-ascending) and folds through
+/// fold_mtrm_outcomes — the order-sensitive step every aggregation path must
+/// share to stay bit-identical. Consumes `unit_outcomes`.
+std::vector<MtrmResult> merge_unit_outcomes(
+    const std::vector<MtrmSweepPoint>& points, const std::vector<UnitWork>& units,
+    std::vector<std::vector<MtrmIterationOutcome>>&& unit_outcomes);
+
+/// Writes `<dir>/result.json` (support/bench_json schema): one sample per
+/// sweep point with the flattened result, its FNV-1a checksum, and the
+/// parameter fields (node_count, side, mobility_params, time/component
+/// fractions) the manetd query engine interpolates over. Deliberately free
+/// of timestamps, timings and cache accounting: every path that completes
+/// the same campaign — single process, resumed, or N distributed workers —
+/// must produce this file byte-for-byte.
+void write_campaign_result(const std::filesystem::path& dir, const std::string& name,
+                           std::uint64_t campaign_key,
+                           const std::vector<MtrmSweepPoint>& points,
+                           const std::vector<UnitWork>& units,
+                           const std::vector<MtrmResult>& results);
+
 /// Crash-safe, resumable executor for Monte-Carlo figure sweeps.
 ///
 /// A sweep is decomposed into deterministic work units — (parameter point,
@@ -101,6 +165,11 @@ namespace detail {
 /// function restores the default hard-exit behavior.
 using KillHook = std::function<void()>;
 void set_kill_hook(KillHook hook);
+
+/// Fault injection: by default die the way a crash would — std::_Exit, no
+/// destructors, no stream flushes. Tests install a throwing hook instead.
+/// Shared by CampaignRunner and the distributed drain's --kill-after.
+void trigger_kill();
 
 }  // namespace detail
 }  // namespace manet::campaign

@@ -1,6 +1,9 @@
 #include "core/mtrm.hpp"
 
+#include <string>
+
 #include "support/error.hpp"
+#include "support/numeric.hpp"
 
 namespace manet {
 
@@ -45,6 +48,33 @@ std::vector<double> flatten_mtrm_result(const MtrmResult& result) {
   }
   values.push_back(result.mean_critical_range.mean());
   return values;
+}
+
+std::vector<std::string> flatten_mtrm_labels(std::size_t time_fraction_count,
+                                             std::size_t component_fraction_count) {
+  // Must mirror flatten_mtrm_result's push order exactly — both are pinned
+  // against each other by MtrmTest.FlattenLabelsMatchFlattenLayout.
+  std::vector<std::string> labels;
+  const auto indexed = [](const char* base, std::size_t i, const char* stat) {
+    return std::string(base) + "[" + format_u64(i) + "]." + stat;
+  };
+  for (std::size_t i = 0; i < time_fraction_count; ++i) {
+    labels.push_back(indexed("range_for_time", i, "mean"));
+    labels.push_back(indexed("range_for_time", i, "variance"));
+  }
+  labels.push_back("range_never_connected.mean");
+  labels.push_back("lcc_at_range_never.mean");
+  for (std::size_t j = 0; j < component_fraction_count; ++j) {
+    labels.push_back(indexed("range_for_component", j, "mean"));
+  }
+  for (std::size_t i = 0; i < time_fraction_count; ++i) {
+    labels.push_back(indexed("lcc_at_range_for_time", i, "mean"));
+  }
+  for (std::size_t i = 0; i < time_fraction_count; ++i) {
+    labels.push_back(indexed("min_lcc_at_range_for_time", i, "mean"));
+  }
+  labels.push_back("mean_critical_range.mean");
+  return labels;
 }
 
 void MtrmConfig::validate() const {

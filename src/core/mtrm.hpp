@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "geometry/box.hpp"
@@ -134,6 +135,15 @@ MtrmResult fold_mtrm_outcomes(const MtrmConfig& config,
 /// per-point checksum: means/variances of r_f, then r0 / lcc@r0, component
 /// ranges, lcc and min-lcc series, mean critical range.
 std::vector<double> flatten_mtrm_result(const MtrmResult& result);
+
+/// Names each slot of flatten_mtrm_result's layout, in the same order
+/// ("range_for_time[0].mean", ... , "mean_critical_range.mean") for the
+/// given fraction counts. The manetd query engine uses these labels to
+/// address individual statistics inside a campaign's flattened_result
+/// vectors; tests pin that the label list and the flattened vector always
+/// have equal length.
+std::vector<std::string> flatten_mtrm_labels(std::size_t time_fraction_count,
+                                             std::size_t component_fraction_count);
 
 /// Solves MTRM by simulation: runs `iterations` independent mobile traces and
 /// extracts every requested range exactly from the per-step critical radii

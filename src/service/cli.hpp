@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "service/drain.hpp"
+#include "support/cli.hpp"
+
+namespace manet::service {
+
+/// Registers the distributed-drain flag family on a CliParser (alongside
+/// campaign::add_campaign_cli_options, whose flags supply the underlying
+/// CampaignOptions):
+///
+///   --distributed        drain the campaign cooperatively via unit leases
+///   --worker-id ID       this worker's lease owner id (required with
+///                        --distributed, unique per concurrent worker)
+///   --lease-ttl SECONDS  staleness horizon before a lease may be stolen
+///   --drain-poll SECONDS sleep between passes when all units are held
+///   --drain-wait SECONDS give up after this much progress-free waiting
+void add_drain_cli_options(CliParser& cli);
+
+/// True when the registered flags ask for distributed mode.
+bool drain_requested(const CliParser& cli);
+
+/// Materializes DrainOptions from parsed flags; the campaign sub-options
+/// come from campaign_options_from_cli (so every --campaign-* flag keeps
+/// its meaning in distributed mode). Throws ConfigError on inconsistent
+/// values (missing --worker-id, non-positive TTL/poll).
+DrainOptions drain_options_from_cli(const CliParser& cli, const std::string& campaign_name);
+
+}  // namespace manet::service

@@ -1,0 +1,96 @@
+#include "service/fsck.hpp"
+
+#include <algorithm>
+#include <system_error>
+
+#include "campaign/result_store.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace manet::service {
+
+namespace {
+
+/// Validates one store entry. Returns an empty string when the entry is
+/// sound, else the reason it is not.
+std::string audit_entry(const std::filesystem::path& path) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(read_text_file(path));
+  } catch (const ConfigError& error) {
+    return std::string("unreadable or malformed JSON: ") + error.what();
+  }
+  try {
+    if (doc.at("kind").as_string() != "manet-campaign-unit") {
+      return "foreign file: kind is '" + doc.at("kind").as_string() +
+             "', not 'manet-campaign-unit'";
+    }
+    if (doc.at("schema_version").as_uint() !=
+        static_cast<std::uint64_t>(campaign::kUnitSchemaVersion)) {
+      return "unsupported schema_version " + hex_u64(doc.at("schema_version").as_uint());
+    }
+    const std::string& canonical = doc.at("canonical").as_string();
+    const std::string address = hex_u64(campaign::unit_key(canonical));
+    if (doc.at("key").as_string() != address) {
+      return "recorded key " + doc.at("key").as_string() +
+             " does not re-hash from the canonical string (expected " + address + ")";
+    }
+    if (path.stem().string() != address) {
+      return "file name does not match the content address " + address +
+             " (entry renamed or copied by hand?)";
+    }
+    (void)doc.at("outcomes").items();
+  } catch (const ConfigError& error) {
+    return std::string("invalid unit document: ") + error.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+FsckReport fsck_store(const std::filesystem::path& store_dir, bool quarantine) {
+  FsckReport report;
+
+  // A store that was never written has nothing to audit — fsck before the
+  // first campaign run is clean, not an error.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(store_dir, ec) || ec) return report;
+
+  std::vector<std::filesystem::path> entries;
+  for (std::filesystem::directory_iterator it(store_dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".json") {
+      entries.push_back(it->path());
+    }
+  }
+  if (ec) {
+    throw ConfigError("fsck: cannot scan store " + store_dir.string() + ": " + ec.message());
+  }
+  std::sort(entries.begin(), entries.end());
+
+  for (const std::filesystem::path& path : entries) {
+    ++report.scanned;
+    std::string reason = audit_entry(path);
+    if (reason.empty()) {
+      ++report.ok;
+      continue;
+    }
+    if (quarantine) {
+      const std::filesystem::path pen = store_dir / "quarantine";
+      std::error_code move_ec;
+      std::filesystem::create_directories(pen, move_ec);
+      if (!move_ec) std::filesystem::rename(path, pen / path.filename(), move_ec);
+      if (move_ec) {
+        reason += " (quarantine failed: " + move_ec.message() + ")";
+      } else {
+        ++report.quarantined;
+      }
+    }
+    report.issues.push_back(FsckIssue{path, std::move(reason)});
+  }
+  return report;
+}
+
+}  // namespace manet::service

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace manet::service {
+
+/// One store entry fsck could not vouch for.
+struct FsckIssue {
+  std::filesystem::path path;
+  std::string reason;
+};
+
+/// Outcome of one fsck pass over a store directory.
+struct FsckReport {
+  std::size_t scanned = 0;      ///< *.json entries examined
+  std::size_t ok = 0;           ///< entries whose content re-hashes to their address
+  std::size_t quarantined = 0;  ///< issues moved to <store>/quarantine/
+  std::vector<FsckIssue> issues;
+
+  bool clean() const noexcept { return issues.empty(); }
+};
+
+/// Integrity audit of a content-addressed campaign store (`manet-store
+/// --fsck`): every `<hex>.json` entry must parse, carry the unit
+/// kind/schema, and — the content-address invariant itself — its canonical
+/// string must re-hash (FNV-1a 64) to both its recorded key and its file
+/// name. Anything else is reported: torn or tampered files, entries renamed
+/// by hand, foreign JSON dropped into the store. With `quarantine` set,
+/// offending files are moved to `<store>/quarantine/` (preserving the file
+/// name) so the next campaign run heals the store by recomputing them —
+/// mirroring ResultStore::load's corrupt-entry-is-a-miss semantics, but
+/// store-wide and without running a campaign. Scans entries in sorted name
+/// order; `claims/` leases, `.tmp` siblings and the quarantine itself are
+/// not store entries and are skipped.
+FsckReport fsck_store(const std::filesystem::path& store_dir, bool quarantine);
+
+}  // namespace manet::service

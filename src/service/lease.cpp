@@ -1,0 +1,98 @@
+#include "service/lease.hpp"
+
+#include <chrono>
+#include <system_error>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+namespace manet::service {
+
+namespace {
+
+/// Mtime age of `path` in seconds; negative when the file is gone (a racing
+/// release/steal) so callers treat it as "not stale, not held".
+// manet-lint: allow(nondet-time) — lease staleness is *defined* by wall-clock
+// mtime age (DESIGN.md §16). The clock only ever decides who computes a unit,
+// never what the unit computes, so results stay time-free.
+double mtime_age_seconds(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::filesystem::file_time_type mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return -1.0;
+  const std::filesystem::file_time_type now = std::filesystem::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+std::string lease_content(const std::string& owner) {
+  JsonValue doc = JsonValue::object();
+  doc.set("kind", JsonValue::string("manet-campaign-lease"));
+  doc.set("owner", JsonValue::string(owner));
+  return doc.dump(2);
+}
+
+}  // namespace
+
+LeaseStore::LeaseStore(std::filesystem::path claims_dir, std::string owner,
+                       double ttl_seconds)
+    : claims_dir_(std::move(claims_dir)), owner_(std::move(owner)), ttl_seconds_(ttl_seconds) {
+  if (owner_.empty()) throw ConfigError("lease: owner id must not be empty");
+  if (!(ttl_seconds_ > 0.0)) throw ConfigError("lease: TTL must be > 0 seconds");
+}
+
+std::filesystem::path LeaseStore::path_for(std::uint64_t unit_key) const {
+  return claims_dir_ / (hex_u64(unit_key) + ".lease");
+}
+
+ClaimOutcome LeaseStore::try_claim(std::uint64_t unit_key) const {
+  const std::filesystem::path path = path_for(unit_key);
+  if (write_text_file_exclusive(path, lease_content(owner_))) {
+    return ClaimOutcome::kClaimed;
+  }
+  // Lost the exclusive create: someone holds (or held) the lease. Steal only
+  // past the TTL. The age can read negative when the holder releases between
+  // our create attempt and this stat — that is a plain kHeld; the next pass
+  // over the unit list re-probes the store and the claim.
+  const double age = mtime_age_seconds(path);
+  if (age > ttl_seconds_) {
+    // Rename-over: atomic replacement of the stale lease. Two stealers can
+    // race here and both proceed to compute the unit — safe by the
+    // determinism argument in the class comment, and the second store.save
+    // rewrites identical bytes.
+    write_text_file_atomic(path, lease_content(owner_));
+    return ClaimOutcome::kStolen;
+  }
+  return ClaimOutcome::kHeld;
+}
+
+void LeaseStore::refresh(std::uint64_t unit_key) const {
+  write_text_file_atomic(path_for(unit_key), lease_content(owner_));
+}
+
+void LeaseStore::release(std::uint64_t unit_key) const {
+  std::error_code ignored;
+  std::filesystem::remove(path_for(unit_key), ignored);
+}
+
+std::optional<LeaseInfo> LeaseStore::inspect(std::uint64_t unit_key) const {
+  const std::filesystem::path path = path_for(unit_key);
+  const double age = mtime_age_seconds(path);
+  if (age < 0.0) return std::nullopt;
+  try {
+    const JsonValue doc = JsonValue::parse(read_text_file(path));
+    LeaseInfo info;
+    info.owner = doc.at("owner").as_string();
+    info.age_seconds = age;
+    return info;
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  }
+}
+
+bool LeaseStore::is_stale(std::uint64_t unit_key) const {
+  return mtime_age_seconds(path_for(unit_key)) > ttl_seconds_;
+}
+
+}  // namespace manet::service

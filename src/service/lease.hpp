@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+namespace manet::service {
+
+/// Result of a claim attempt on one unit lease.
+enum class ClaimOutcome {
+  kClaimed,  ///< this worker now holds a fresh lease
+  kStolen,   ///< a stale lease was replaced; this worker now holds it
+  kHeld,     ///< another worker holds a live lease — skip, revisit later
+};
+
+/// What a lease file says about its holder (diagnostics / tests).
+struct LeaseInfo {
+  std::string owner;
+  double age_seconds = 0.0;
+};
+
+/// Lease-based work claiming over a shared campaign store directory
+/// (DESIGN.md §16). Each work unit key maps to `<claims>/<key-hex>.lease`;
+/// holding that file is holding the lease.
+///
+/// The protocol in one paragraph: *claim* is an atomic create-if-absent
+/// (fs.hpp write_text_file_exclusive — exactly one of N racing workers,
+/// threads or processes, wins); *heartbeat* is an atomic rewrite of the held
+/// lease, which bumps its mtime; *staleness* is mtime age exceeding the TTL;
+/// *steal* is a rename of a freshly written lease over a stale one. Two
+/// workers can transiently both believe they hold a lease (steal races, or
+/// a heartbeat landing after a steal) — that is deliberate. Leases are an
+/// efficiency mechanism only: they keep workers off each other's units most
+/// of the time. Correctness never depends on them, because units are
+/// deterministic (equal canonical string ⇒ bit-identical outcomes) and
+/// store writes are atomic, so duplicated execution merely overwrites a
+/// store file with the same bytes. This split — liveness from leases,
+/// safety from determinism — is what makes the protocol simple enough to
+/// audit (no fencing tokens, no consensus).
+class LeaseStore {
+ public:
+  /// `claims_dir` is created lazily on first claim. `owner` identifies this
+  /// worker in lease files ("worker-3", "host:pid"); `ttl_seconds` is the
+  /// staleness horizon — it must comfortably exceed the heartbeat period or
+  /// live workers get robbed. Throws ConfigError on empty owner or a
+  /// non-positive TTL.
+  LeaseStore(std::filesystem::path claims_dir, std::string owner, double ttl_seconds);
+
+  /// Tries to acquire the lease for `unit_key`. kClaimed / kStolen mean this
+  /// worker holds it and must heartbeat until release; kHeld means someone
+  /// else does.
+  ClaimOutcome try_claim(std::uint64_t unit_key) const;
+
+  /// Refreshes a held lease (atomic rewrite; bumps mtime). Call at least
+  /// once per TTL while computing — execute_unit's per-iteration callback is
+  /// the natural place.
+  void refresh(std::uint64_t unit_key) const;
+
+  /// Drops the lease after the unit's result is persisted. Releasing a lease
+  /// that a stealer already replaced is harmless: the file is removed either
+  /// way, and the stealer's re-probe of the store finds the completed unit.
+  void release(std::uint64_t unit_key) const;
+
+  /// Reads a lease file back (nullopt when absent or unreadable).
+  std::optional<LeaseInfo> inspect(std::uint64_t unit_key) const;
+
+  /// True when the lease file exists and its mtime age exceeds the TTL.
+  bool is_stale(std::uint64_t unit_key) const;
+
+  std::filesystem::path path_for(std::uint64_t unit_key) const;
+
+  const std::string& owner() const noexcept { return owner_; }
+  double ttl_seconds() const noexcept { return ttl_seconds_; }
+
+ private:
+  std::filesystem::path claims_dir_;
+  std::string owner_;
+  double ttl_seconds_;
+};
+
+}  // namespace manet::service

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace manet::service {
+
+/// Bounded most-recently-used cache with deterministic eviction: entries
+/// evict strictly in least-recently-used order, and recency is defined only
+/// by the find()/insert() call sequence — no clocks, no hashing (std::map,
+/// per the nondet-ordering rule), so a replayed request stream always
+/// produces the same hit/miss/eviction trace. manetd fronts its query
+/// evaluation with one of these; the cache stores rendered response *bytes*,
+/// which is what makes "repeated identical queries return identical bytes"
+/// trivially auditable.
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw ConfigError("LruCache: capacity must be >= 1");
+  }
+
+  /// Looks `key` up and, on a hit, marks it most recently used. The pointer
+  /// stays valid until the next insert().
+  const Value* find(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// when full.
+  void insert(std::string key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      recency_.splice(recency_.begin(), recency_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(recency_.back().first);
+      recency_.pop_back();
+    }
+    recency_.emplace_front(std::move(key), std::move(value));
+    index_[recency_.front().first] = recency_.begin();
+  }
+
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<std::string, Value>> recency_;  ///< front = most recent
+  std::map<std::string, typename std::list<std::pair<std::string, Value>>::iterator>
+      index_;
+};
+
+}  // namespace manet::service

@@ -1,0 +1,255 @@
+#include "service/query.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/mtrm.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/numeric.hpp"
+
+namespace manet::service {
+
+namespace {
+
+std::vector<double> doubles_from_json(const JsonValue& array) {
+  std::vector<double> values;
+  values.reserve(array.items().size());
+  for (const JsonValue& item : array.items()) values.push_back(item.as_double());
+  return values;
+}
+
+CampaignSample sample_from_json(const JsonValue& doc) {
+  CampaignSample sample;
+  sample.point = static_cast<std::size_t>(doc.at("point").as_uint());
+  sample.node_count = doc.at("node_count").as_double();
+  sample.side = doc.at("side").as_double();
+  sample.mobility = doc.at("mobility").as_string();
+  for (const auto& [key, value] : doc.at("mobility_params").members()) {
+    sample.mobility_params.emplace_back(key, value.as_double());
+  }
+  sample.time_fractions = doubles_from_json(doc.at("time_fractions"));
+  sample.component_fractions = doubles_from_json(doc.at("component_fractions"));
+  sample.flattened = doubles_from_json(doc.at("flattened_result"));
+  sample.result_checksum = doc.at("result_checksum").as_string();
+  const std::size_t expected =
+      flatten_mtrm_labels(sample.time_fractions.size(), sample.component_fractions.size())
+          .size();
+  if (sample.flattened.size() != expected) {
+    throw ConfigError("campaign sample: flattened_result has " +
+                      format_u64(sample.flattened.size()) + " values, expected " +
+                      format_u64(expected));
+  }
+  return sample;
+}
+
+/// Piecewise-linear interpolation over knots sorted ascending by x, clamped
+/// to the end values outside the knot range. Pure double arithmetic in a
+/// fixed evaluation order — equal inputs, equal bits.
+double interpolate(const std::vector<std::pair<double, double>>& knots, double x) {
+  if (knots.empty()) throw ConfigError("interpolate: no knots");
+  if (x <= knots.front().first) return knots.front().second;
+  if (x >= knots.back().first) return knots.back().second;
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    const auto [x0, y0] = knots[i - 1];
+    const auto [x1, y1] = knots[i];
+    if (x <= x1) {
+      if (!(x1 > x0)) return y1;  // duplicate knot: step, not divide-by-zero
+      return y0 + (y1 - y0) * ((x - x0) / (x1 - x0));
+    }
+  }
+  return knots.back().second;
+}
+
+const CampaignSample& sample_at(const CampaignData& campaign, const JsonValue& request) {
+  const std::size_t point = static_cast<std::size_t>(request.at("point").as_uint());
+  if (point >= campaign.samples.size()) {
+    throw ConfigError("campaign '" + campaign.name + "' has " +
+                      format_u64(campaign.samples.size()) + " points; point " +
+                      format_u64(point) + " does not exist");
+  }
+  return campaign.samples[point];
+}
+
+/// The sweep-axis value of `sample` under axis name `param`.
+double axis_value(const CampaignSample& sample, const std::string& param) {
+  if (param == "node_count") return sample.node_count;
+  if (param == "side") return sample.side;
+  for (const auto& [key, value] : sample.mobility_params) {
+    if (key == param) return value;
+  }
+  throw ConfigError("sample for point " + format_u64(sample.point) +
+                    " has no sweep parameter '" + param + "'");
+}
+
+}  // namespace
+
+void QueryEngine::load_campaign_dir(const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / "result.json";
+  const JsonValue doc = JsonValue::parse(read_text_file(path));
+  CampaignData campaign;
+  campaign.name = doc.at("params").at("campaign").as_string();
+  campaign.campaign_key = doc.at("params").at("campaign_key").as_string();
+  for (const JsonValue& item : doc.at("samples").items()) {
+    campaign.samples.push_back(sample_from_json(item));
+  }
+  for (const CampaignData& existing : campaigns_) {
+    if (existing.name == campaign.name) {
+      throw ConfigError("campaign '" + campaign.name + "' is already loaded (from " +
+                        path.string() + ")");
+    }
+  }
+  const auto position = std::lower_bound(
+      campaigns_.begin(), campaigns_.end(), campaign,
+      [](const CampaignData& a, const CampaignData& b) { return a.name < b.name; });
+  campaigns_.insert(position, std::move(campaign));
+}
+
+std::size_t QueryEngine::load_campaigns_root(const std::filesystem::path& root) {
+  std::vector<std::filesystem::path> dirs;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory() && std::filesystem::exists(it->path() / "result.json")) {
+      dirs.push_back(it->path());
+    }
+  }
+  if (ec) {
+    throw ConfigError("cannot scan campaigns root " + root.string() + ": " + ec.message());
+  }
+  // Directory iteration order is filesystem-defined; sort so load order (and
+  // with it every listing this engine serves) is reproducible.
+  std::sort(dirs.begin(), dirs.end());
+  for (const std::filesystem::path& dir : dirs) load_campaign_dir(dir);
+  return dirs.size();
+}
+
+std::size_t QueryEngine::sample_count() const noexcept {
+  std::size_t total = 0;
+  for (const CampaignData& campaign : campaigns_) total += campaign.samples.size();
+  return total;
+}
+
+const CampaignData& QueryEngine::campaign_for(const JsonValue& request) const {
+  const std::string& name = request.at("campaign").as_string();
+  for (const CampaignData& campaign : campaigns_) {
+    if (campaign.name == name) return campaign;
+  }
+  throw ConfigError("no campaign named '" + name + "' is loaded");
+}
+
+JsonValue QueryEngine::handle(const JsonValue& request) const {
+  try {
+    const std::string& op = request.at("op").as_string();
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("op", JsonValue::string(op));
+
+    if (op == "health") {
+      response.set("campaigns", JsonValue::number(campaigns_.size()));
+      response.set("samples", JsonValue::number(sample_count()));
+      return response;
+    }
+
+    if (op == "campaigns") {
+      JsonValue list = JsonValue::array();
+      for (const CampaignData& campaign : campaigns_) {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue::string(campaign.name));
+        entry.set("campaign_key", JsonValue::string(campaign.campaign_key));
+        entry.set("points", JsonValue::number(campaign.samples.size()));
+        list.push_back(std::move(entry));
+      }
+      response.set("campaigns", std::move(list));
+      return response;
+    }
+
+    if (op == "mtrm") {
+      const CampaignData& campaign = campaign_for(request);
+      const CampaignSample& sample = sample_at(campaign, request);
+      response.set("campaign", JsonValue::string(campaign.name));
+      response.set("point", JsonValue::number(sample.point));
+      response.set("node_count", JsonValue::number(sample.node_count));
+      response.set("side", JsonValue::number(sample.side));
+      response.set("mobility", JsonValue::string(sample.mobility));
+      response.set("result_checksum", JsonValue::string(sample.result_checksum));
+      const std::vector<std::string> labels = flatten_mtrm_labels(
+          sample.time_fractions.size(), sample.component_fractions.size());
+      JsonValue stats = JsonValue::object();
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        stats.set(labels[i], JsonValue::number(sample.flattened[i]));
+      }
+      response.set("stats", std::move(stats));
+      return response;
+    }
+
+    if (op == "rquantile") {
+      const CampaignData& campaign = campaign_for(request);
+      const CampaignSample& sample = sample_at(campaign, request);
+      const double fraction = request.at("fraction").as_double();
+      if (!(fraction > 0.0 && fraction <= 1.0)) {
+        throw ConfigError("rquantile: fraction must be in (0, 1]");
+      }
+      // Knots: (time fraction, mean r_f). range_for_time means sit at slots
+      // 2i of the flattened layout.
+      std::vector<std::pair<double, double>> knots;
+      knots.reserve(sample.time_fractions.size());
+      for (std::size_t i = 0; i < sample.time_fractions.size(); ++i) {
+        knots.emplace_back(sample.time_fractions[i], sample.flattened[2 * i]);
+      }
+      std::sort(knots.begin(), knots.end());
+      response.set("campaign", JsonValue::string(campaign.name));
+      response.set("point", JsonValue::number(sample.point));
+      response.set("fraction", JsonValue::number(fraction));
+      response.set("range", JsonValue::number(interpolate(knots, fraction)));
+      return response;
+    }
+
+    if (op == "phase") {
+      const CampaignData& campaign = campaign_for(request);
+      const std::string& param = request.at("param").as_string();
+      const std::string& stat = request.at("stat").as_string();
+      const double value = request.at("value").as_double();
+      std::vector<std::pair<double, double>> knots;
+      knots.reserve(campaign.samples.size());
+      for (const CampaignSample& sample : campaign.samples) {
+        const std::vector<std::string> labels = flatten_mtrm_labels(
+            sample.time_fractions.size(), sample.component_fractions.size());
+        const auto it = std::find(labels.begin(), labels.end(), stat);
+        if (it == labels.end()) {
+          throw ConfigError("unknown statistic '" + stat +
+                            "' (see flatten_mtrm_labels for the available names)");
+        }
+        knots.emplace_back(axis_value(sample, param),
+                           sample.flattened[static_cast<std::size_t>(it - labels.begin())]);
+      }
+      if (knots.empty()) throw ConfigError("campaign has no samples");
+      std::stable_sort(knots.begin(), knots.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      response.set("campaign", JsonValue::string(campaign.name));
+      response.set("param", JsonValue::string(param));
+      response.set("value", JsonValue::number(value));
+      response.set("stat", JsonValue::string(stat));
+      response.set("result", JsonValue::number(interpolate(knots, value)));
+      return response;
+    }
+
+    throw ConfigError("unknown op '" + op + "'");
+  } catch (const ConfigError& error) {
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(false));
+    response.set("error", JsonValue::string(error.what()));
+    return response;
+  }
+}
+
+std::string QueryEngine::cache_key(const JsonValue& request) {
+  std::vector<std::pair<std::string, JsonValue>> members = request.members();
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  JsonValue canonical = JsonValue::object();
+  for (auto& [key, value] : members) canonical.set(std::move(key), std::move(value));
+  return canonical.dump();
+}
+
+}  // namespace manet::service

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace manet::service {
+
+/// One sweep point as recorded in a campaign's result.json.
+struct CampaignSample {
+  std::size_t point = 0;
+  double node_count = 0.0;
+  double side = 0.0;
+  std::string mobility;
+  /// The mobility model's parameters (insertion order from result.json) —
+  /// candidate phase axes alongside node_count/side.
+  std::vector<std::pair<std::string, double>> mobility_params;
+  std::vector<double> time_fractions;
+  std::vector<double> component_fractions;
+  /// flatten_mtrm_result layout; addressed via flatten_mtrm_labels.
+  std::vector<double> flattened;
+  std::string result_checksum;
+};
+
+/// One loaded campaign.
+struct CampaignData {
+  std::string name;
+  std::string campaign_key;
+  std::vector<CampaignSample> samples;
+};
+
+/// Read-only query evaluator over completed campaign result.json files —
+/// the manetd brain, separated from the socket/server shell so tests can
+/// drive it directly. Loads each campaign once; every query is a pure
+/// function of the loaded data and the request, so identical requests
+/// produce identical response documents (and, one dump() later, identical
+/// bytes — the invariant the server's LRU byte-cache is allowed to rely on,
+/// DESIGN.md §16).
+///
+/// Supported ops (line-delimited JSON requests):
+///   {"op":"health"}
+///   {"op":"campaigns"}
+///   {"op":"mtrm","campaign":C,"point":i}            full labeled statistics
+///   {"op":"rquantile","campaign":C,"point":i,"fraction":f}
+///       r_f at an arbitrary time fraction: piecewise-linear interpolation
+///       of the mean MTRM range over the campaign's time-fraction knots,
+///       clamped outside the solved range.
+///   {"op":"phase","campaign":C,"param":p,"value":x,"stat":s}
+///       a statistic s (a flatten_mtrm_labels name) interpolated over the
+///       campaign's sweep axis p ("node_count", "side" or a mobility
+///       parameter), samples sorted by p, clamped at the ends.
+class QueryEngine {
+ public:
+  /// Loads `<dir>/result.json`. Throws ConfigError when absent/invalid or
+  /// when a campaign with the same name is already loaded.
+  void load_campaign_dir(const std::filesystem::path& dir);
+
+  /// Scans `root`'s immediate subdirectories in sorted name order and loads
+  /// every one holding a result.json. Returns the number loaded.
+  std::size_t load_campaigns_root(const std::filesystem::path& root);
+
+  std::size_t campaign_count() const noexcept { return campaigns_.size(); }
+  std::size_t sample_count() const noexcept;
+
+  /// Evaluates one request. Never throws: malformed requests and unknown
+  /// campaigns/ops produce {"ok":false,"error":...} responses.
+  JsonValue handle(const JsonValue& request) const;
+
+  /// Canonical cache key of a request: its members re-serialized in sorted
+  /// key order, so key order on the wire does not split cache entries.
+  static std::string cache_key(const JsonValue& request);
+
+ private:
+  const CampaignData& campaign_for(const JsonValue& request) const;
+
+  std::vector<CampaignData> campaigns_;  ///< sorted by name
+};
+
+}  // namespace manet::service

@@ -1,0 +1,144 @@
+#include "service/server.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "service/socket.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace manet::service {
+
+namespace {
+
+struct ServerMetrics {
+  metrics::Counter connections = metrics::counter("manetd.connections");
+  metrics::Counter requests = metrics::counter("manetd.requests");
+  metrics::Counter cache_hits = metrics::counter("manetd.cache_hits");
+  metrics::Counter cache_misses = metrics::counter("manetd.cache_misses");
+  metrics::Counter parse_errors = metrics::counter("manetd.parse_errors");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics bundle;
+  return bundle;
+}
+
+std::string error_line(const std::string& message) {
+  JsonValue response = JsonValue::object();
+  response.set("ok", JsonValue::boolean(false));
+  response.set("error", JsonValue::string(message));
+  return response.dump();
+}
+
+}  // namespace
+
+ManetdServer::ManetdServer(QueryEngine engine, ServerOptions options)
+    : engine_(std::move(engine)),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity) {
+  if (options_.socket_path.empty()) {
+    throw ConfigError("manetd: a socket path is required (--socket)");
+  }
+}
+
+std::string ManetdServer::respond(const std::string& line) {
+  ++report_.requests;
+  server_metrics().requests.increment();
+
+  JsonValue request;
+  try {
+    request = JsonValue::parse(line);
+    (void)request.members();  // must be an object
+  } catch (const ConfigError& error) {
+    ++report_.parse_errors;
+    server_metrics().parse_errors.increment();
+    return error_line(std::string("bad request: ") + error.what());
+  }
+
+  // Control-op dispatch must not throw out of respond(): a non-string "op"
+  // falls through to the engine, whose handle() turns it into an error
+  // response.
+  std::string op_name;
+  if (const JsonValue* op = request.find("op")) {
+    try {
+      op_name = op->as_string();
+    } catch (const ConfigError&) {
+    }
+  }
+  if (op_name == "stop") {
+    stop_requested_ = true;
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("op", JsonValue::string("stop"));
+    return response.dump();
+  }
+  if (op_name == "stats") {
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("op", JsonValue::string("stats"));
+    response.set("connections", JsonValue::number(report_.connections));
+    response.set("requests", JsonValue::number(report_.requests));
+    response.set("cache_hits", JsonValue::number(report_.cache_hits));
+    response.set("cache_misses", JsonValue::number(report_.cache_misses));
+    response.set("cache_size", JsonValue::number(cache_.size()));
+    response.set("cache_capacity", JsonValue::number(cache_.capacity()));
+    response.set("parse_errors", JsonValue::number(report_.parse_errors));
+    response.set("metrics", metrics::collect_json());
+    return response.dump();
+  }
+
+  // Pure query: serve from the byte-cache when the canonical request was
+  // seen before. Error responses are cached too — they are just as
+  // deterministic as successes, and a client retrying a bad query in a loop
+  // should not re-run the lookup machinery.
+  const std::string key = QueryEngine::cache_key(request);
+  if (const std::string* cached = cache_.find(key)) {
+    ++report_.cache_hits;
+    server_metrics().cache_hits.increment();
+    return *cached;
+  }
+  ++report_.cache_misses;
+  server_metrics().cache_misses.increment();
+  std::string rendered = engine_.handle(request).dump();
+  cache_.insert(key, rendered);
+  return rendered;
+}
+
+std::size_t ManetdServer::serve() {
+  UnixListener listener(options_.socket_path);
+  if (!options_.quiet) {
+    std::fprintf(stderr, "[manetd] serving %zu campaigns on %s\n",
+                 engine_.campaign_count(), options_.socket_path.string().c_str());
+  }
+
+  while (!stop_requested_) {
+    Socket client = listener.wait_client();
+    ++report_.connections;
+    server_metrics().connections.increment();
+    try {
+      std::string line;
+      while (!stop_requested_ && client.read_line(line)) {
+        std::string response = respond(line);
+        response.push_back('\n');
+        client.send_all(response);
+      }
+    } catch (const ConfigError& error) {
+      // A misbehaving client (oversized line, mid-line hangup, dead pipe)
+      // ends its own session only; the server keeps accepting.
+      if (!options_.quiet) {
+        std::fprintf(stderr, "[manetd] client error: %s\n", error.what());
+      }
+    }
+  }
+
+  if (!options_.quiet) {
+    std::fprintf(stderr, "[manetd] stop: served %zu requests (%zu cache hits) over %zu "
+                 "connections\n",
+                 report_.requests, report_.cache_hits, report_.connections);
+  }
+  return report_.requests;
+}
+
+}  // namespace manet::service

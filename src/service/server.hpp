@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "service/lru_cache.hpp"
+#include "service/query.hpp"
+
+namespace manet::service {
+
+/// Knobs of the manetd server shell.
+struct ServerOptions {
+  /// Unix-domain socket path to listen on. Required.
+  std::filesystem::path socket_path;
+  /// Response byte-cache capacity (entries).
+  std::size_t cache_capacity = 256;
+  /// Suppresses the stderr lifecycle lines (tests).
+  bool quiet = false;
+};
+
+/// Per-process accounting of the server, exposed over the "stats" op
+/// alongside the global metrics registry (manetd.* counters).
+struct ServerReport {
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t parse_errors = 0;
+};
+
+/// The manetd front-end: a line-delimited JSON request/response loop over a
+/// Unix-domain socket, wrapped around a QueryEngine. One request per line,
+/// one response line per request, clients served sequentially in accept
+/// order (the engine answers from preloaded in-memory data, so a query is
+/// microseconds — concurrency would buy nothing and cost the determinism of
+/// the request trace).
+///
+/// Responses to the pure query ops (campaigns/mtrm/rquantile/phase) flow
+/// through a deterministic LRU byte-cache keyed on the canonicalized
+/// request: a cache hit returns the exact bytes the miss produced, so
+/// repeated identical queries are byte-identical by construction and the
+/// hit/miss counters (manetd.cache_hits / manetd.cache_misses, also in the
+/// "stats" response) make the cache observable. Control ops — "stats"
+/// (accounting + metrics::collect_json), "stop" (clean shutdown) — bypass
+/// the cache.
+class ManetdServer {
+ public:
+  /// Takes ownership of a loaded engine. Throws ConfigError on an empty
+  /// socket path or a zero cache capacity.
+  ManetdServer(QueryEngine engine, ServerOptions options);
+
+  /// Binds the socket and serves until a {"op":"stop"} request arrives.
+  /// Returns the number of requests served. Throws ConfigError on listener
+  /// failures (a failing *client* only ends that client's session).
+  std::size_t serve();
+
+  /// Evaluates one request line exactly as serve() would (cache included)
+  /// and returns the response line without the trailing newline. Exposed so
+  /// tests can drive the full request path without a socket.
+  std::string respond(const std::string& line);
+
+  const ServerReport& report() const noexcept { return report_; }
+  bool stop_requested() const noexcept { return stop_requested_; }
+
+ private:
+  QueryEngine engine_;
+  ServerOptions options_;
+  LruCache<std::string> cache_;
+  ServerReport report_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace manet::service

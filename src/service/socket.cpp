@@ -1,0 +1,202 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define MANET_HAVE_UNIX_SOCKETS 1
+#else
+#define MANET_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace manet::service {
+
+namespace {
+
+/// One line is one JSON request/response; anything bigger than this is a
+/// protocol violation, not a query.
+constexpr std::size_t kMaxLineBytes = 8u * 1024u * 1024u;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ConfigError(what + ": " + std::string(std::strerror(errno)));
+}
+
+#if !MANET_HAVE_UNIX_SOCKETS
+[[noreturn]] void throw_unsupported() {
+  throw ConfigError("unix-domain sockets are not available on this platform");
+}
+#endif
+
+}  // namespace
+
+bool unix_sockets_available() noexcept { return MANET_HAVE_UNIX_SOCKETS != 0; }
+
+Socket::~Socket() { close_stream(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_stream();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Socket::close_stream() noexcept {
+#if MANET_HAVE_UNIX_SOCKETS
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+void Socket::send_all(std::string_view data) const {
+#if MANET_HAVE_UNIX_SOCKETS
+  if (fd_ < 0) throw ConfigError("send_all on a closed socket");
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + offset, data.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket write failed");
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+#else
+  (void)data;
+  throw_unsupported();
+#endif
+}
+
+bool Socket::read_line(std::string& line) {
+#if MANET_HAVE_UNIX_SOCKETS
+  if (fd_ < 0) throw ConfigError("read_line on a closed socket");
+  line.clear();
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      throw ConfigError("socket line exceeds the 8 MiB protocol bound");
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket read failed");
+    }
+    if (n == 0) {
+      // Clean end-of-stream. A partial trailing line (no '\n') is a peer
+      // protocol error; surface it rather than silently dropping bytes.
+      if (!buffer_.empty()) {
+        throw ConfigError("peer closed mid-line (" + std::string(buffer_, 0, 64) + "...)");
+      }
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+#else
+  (void)line;
+  throw_unsupported();
+#endif
+}
+
+#if MANET_HAVE_UNIX_SOCKETS
+namespace {
+
+sockaddr_un address_for(const std::filesystem::path& socket_path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  const std::string text = socket_path.string();
+  if (text.size() >= sizeof(address.sun_path)) {
+    throw ConfigError("socket path too long for sun_path (" + text + ")");
+  }
+  std::memcpy(address.sun_path, text.c_str(), text.size() + 1);
+  return address;
+}
+
+}  // namespace
+#endif
+
+UnixListener::UnixListener(std::filesystem::path socket_path)
+    : path_(std::move(socket_path)) {
+#if MANET_HAVE_UNIX_SOCKETS
+  const sockaddr_un address = address_for(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("cannot create unix socket");
+  // Replace a stale socket file from a previous (killed) server; a *live*
+  // server would still hold the old inode, so clients of the old path fail
+  // fast instead of splitting traffic.
+  std::error_code ignored;
+  std::filesystem::remove(path_, ignored);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("cannot bind " + path_.string());
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("cannot listen on " + path_.string());
+  }
+#else
+  throw_unsupported();
+#endif
+}
+
+UnixListener::~UnixListener() {
+#if MANET_HAVE_UNIX_SOCKETS
+  if (fd_ >= 0) ::close(fd_);
+  std::error_code ignored;
+  std::filesystem::remove(path_, ignored);
+#endif
+}
+
+Socket UnixListener::wait_client() const {
+#if MANET_HAVE_UNIX_SOCKETS
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return Socket(client);
+    if (errno == EINTR) continue;
+    throw_errno("accept failed on " + path_.string());
+  }
+#else
+  throw_unsupported();
+#endif
+}
+
+Socket dial_unix(const std::filesystem::path& socket_path) {
+#if MANET_HAVE_UNIX_SOCKETS
+  const sockaddr_un address = address_for(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot connect to " + socket_path.string());
+  }
+  return Socket(fd);
+#else
+  (void)socket_path;
+  throw_unsupported();
+#endif
+}
+
+}  // namespace manet::service

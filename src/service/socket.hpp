@@ -1,0 +1,79 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace manet::service {
+
+/// Whether this build has Unix-domain stream sockets. When false (non-POSIX
+/// hosts), every entry point below throws ConfigError instead — the
+/// simulation and campaign layers never depend on sockets, only manetd does.
+bool unix_sockets_available() noexcept;
+
+/// RAII handle over one connected byte stream. Move-only; the descriptor is
+/// closed on destruction. The only I/O shapes manetd needs are "send these
+/// bytes" and "give me the next newline-terminated line", so that is the
+/// whole interface — the socket syscalls themselves are confined to
+/// socket.cpp by the manet-lint socket-confinement rule.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected descriptor (listener side).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Writes all of `data`, retrying short writes. Throws ConfigError on a
+  /// closed or failing peer.
+  void send_all(std::string_view data) const;
+
+  /// Reads up to and including the next '\n'; `line` receives the bytes
+  /// without the terminator. Returns false on clean end-of-stream before any
+  /// byte of a new line. Throws ConfigError on I/O errors and on lines
+  /// exceeding an 8 MiB sanity bound (a runaway or malicious peer).
+  bool read_line(std::string& line);
+
+  /// Closes the descriptor early (idempotent).
+  void close_stream() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< read-ahead past the last returned line
+};
+
+/// Listening Unix-domain stream socket bound to `socket_path`. The path is
+/// unlinked on bind (stale socket files from a killed server) and again on
+/// destruction.
+class UnixListener {
+ public:
+  explicit UnixListener(std::filesystem::path socket_path);
+  ~UnixListener();
+
+  UnixListener(UnixListener&&) = delete;
+  UnixListener& operator=(UnixListener&&) = delete;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Blocks until the next client connects. Throws ConfigError on listener
+  /// failure.
+  Socket wait_client() const;
+
+ private:
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
+
+/// Client side: connects to the Unix-domain socket at `socket_path`. Throws
+/// ConfigError when nothing is listening there.
+Socket dial_unix(const std::filesystem::path& socket_path);
+
+}  // namespace manet::service

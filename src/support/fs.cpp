@@ -1,8 +1,10 @@
 #include "support/fs.hpp"
 
 #include <atomic>  // manet-lint: allow(thread-confinement) — temp-name counter below
+#include <cerrno>
 #include <cstdio>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <system_error>
@@ -21,7 +23,10 @@ namespace {
 
 /// Process-wide counter making concurrent temp names from different threads
 /// unique (the pid makes them unique across concurrent processes sharing a
-/// store directory).
+/// store directory — N distributed drain workers racing on one unit must
+/// never collide on a temp sibling, or a torn loser could shadow the
+/// winner's complete write; pinned by LeaseTest.RacingStoreWritersLeaveOne
+/// CompleteSurvivor).
 // manet-lint: allow(thread-confinement) — names transient .tmp siblings only;
 // the counter never reaches file contents, so results stay thread-count-free.
 std::atomic<std::uint64_t> g_temp_counter{0};
@@ -40,6 +45,46 @@ std::filesystem::path temp_sibling(const std::filesystem::path& path) {
   return path.parent_path() / name;
 }
 
+void create_parent_directories(const std::filesystem::path& path) {
+  const std::filesystem::path parent = path.parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    throw ConfigError("cannot create directory " + parent.string() + ": " + ec.message());
+  }
+}
+
+/// Writes `content` to a unique temp sibling of `path` and flushes it to
+/// stable storage. The caller owns the final atomic step (rename or link)
+/// and the temp file's cleanup on failure.
+std::filesystem::path write_durable_temp_sibling(const std::filesystem::path& path,
+                                                 std::string_view content) {
+  const std::filesystem::path temp = temp_sibling(path);
+  // C stdio instead of ofstream so the buffer can be flushed and fsynced
+  // before the rename — rename-before-durable would reorder the crash
+  // states the atomicity argument relies on (DESIGN.md §11).
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    throw ConfigError("cannot open temp file for writing: " + temp.string());
+  }
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+#if MANET_HAVE_FSYNC
+  const bool synced = ::fsync(::fileno(file)) == 0;
+#else
+  const bool synced = true;
+#endif
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !flushed || !synced || !closed) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw ConfigError("write error on temp file: " + temp.string());
+  }
+  return temp;
+}
+
 }  // namespace
 
 std::string read_text_file(const std::filesystem::path& path) {
@@ -56,40 +101,8 @@ std::string read_text_file(const std::filesystem::path& path) {
 }
 
 void write_text_file_atomic(const std::filesystem::path& path, std::string_view content) {
-  const std::filesystem::path parent = path.parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);
-    if (ec) {
-      throw ConfigError("cannot create directory " + parent.string() + ": " + ec.message());
-    }
-  }
-
-  const std::filesystem::path temp = temp_sibling(path);
-  {
-    // C stdio instead of ofstream so the buffer can be flushed and fsynced
-    // before the rename — rename-before-durable would reorder the crash
-    // states the atomicity argument relies on (DESIGN.md §11).
-    std::FILE* file = std::fopen(temp.c_str(), "wb");
-    if (file == nullptr) {
-      throw ConfigError("cannot open temp file for writing: " + temp.string());
-    }
-    const std::size_t written = content.empty()
-                                    ? 0
-                                    : std::fwrite(content.data(), 1, content.size(), file);
-    const bool flushed = std::fflush(file) == 0;
-#if MANET_HAVE_FSYNC
-    const bool synced = ::fsync(::fileno(file)) == 0;
-#else
-    const bool synced = true;
-#endif
-    const bool closed = std::fclose(file) == 0;
-    if (written != content.size() || !flushed || !synced || !closed) {
-      std::error_code ignored;
-      std::filesystem::remove(temp, ignored);
-      throw ConfigError("write error on temp file: " + temp.string());
-    }
-  }
+  create_parent_directories(path);
+  const std::filesystem::path temp = write_durable_temp_sibling(path, content);
 
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
@@ -99,6 +112,43 @@ void write_text_file_atomic(const std::filesystem::path& path, std::string_view 
     throw ConfigError("cannot rename " + temp.string() + " -> " + path.string() + ": " +
                       ec.message());
   }
+}
+
+bool write_text_file_exclusive(const std::filesystem::path& path, std::string_view content) {
+  create_parent_directories(path);
+#if MANET_HAVE_FSYNC
+  const std::filesystem::path temp = write_durable_temp_sibling(path, content);
+  // link(2), not rename: rename silently replaces an existing target, while
+  // link fails with EEXIST — that failure is the mutual exclusion. Exactly
+  // one of N racing callers (threads or processes) links first; everyone
+  // else sees EEXIST and reports "already claimed".
+  const int rc = ::link(temp.c_str(), path.c_str());
+  const int saved_errno = errno;
+  std::error_code ignored;
+  std::filesystem::remove(temp, ignored);
+  if (rc == 0) return true;
+  if (saved_errno == EEXIST) return false;
+  throw ConfigError("cannot link " + temp.string() + " -> " + path.string() + ": " +
+                    std::string(std::strerror(saved_errno)));
+#else
+  // No hard links: fall back to exclusive-mode open. The winner is still
+  // unique, but a crash mid-write can leave a torn file at `path`.
+  std::FILE* file = std::fopen(path.string().c_str(), "wbx");
+  if (file == nullptr) {
+    if (errno == EEXIST) return false;
+    throw ConfigError("cannot open file for exclusive writing: " + path.string());
+  }
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !flushed || !closed) {
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    throw ConfigError("write error on file: " + path.string());
+  }
+  return true;
+#endif
 }
 
 }  // namespace manet

@@ -22,4 +22,16 @@ std::string read_text_file(const std::filesystem::path& path);
 /// and by git (.gitignore). Throws ConfigError on any I/O failure.
 void write_text_file_atomic(const std::filesystem::path& path, std::string_view content);
 
+/// Atomic create-if-absent: like write_text_file_atomic, but the final step
+/// only succeeds when `path` does not exist yet. Returns true when this call
+/// created the file, false when it already existed (the content is then left
+/// untouched). Exactly one of N concurrent callers — threads or *processes*
+/// on the same filesystem — observes true, which is the mutual-exclusion
+/// primitive the campaign lease protocol (src/service/lease.hpp) is built
+/// on. On POSIX the claim step is a hard link of the durable temp file
+/// (atomic, EEXIST on loss); elsewhere it degrades to an exclusive-mode
+/// open, which keeps the winner unique but loses the temp+rename torn-write
+/// guarantee. Throws ConfigError on any I/O failure other than "exists".
+bool write_text_file_exclusive(const std::filesystem::path& path, std::string_view content);
+
 }  // namespace manet

@@ -1,0 +1,202 @@
+// Unit tests of the lease protocol primitives (src/service/lease.hpp) and
+// the filesystem guarantees it leans on (src/support/fs.hpp): exclusive
+// create admits exactly one of N racing claimants, staleness is mtime age
+// against the TTL, a heartbeat resets it, a stale lease is stolen in place —
+// and, the regression the pid+counter temp naming exists for, two processes'
+// worth of writers racing the *same* store path always leave one complete
+// survivor, never a torn file.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/lease.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+
+namespace manet {
+namespace {
+
+using service::ClaimOutcome;
+using service::LeaseStore;
+
+/// Fresh scratch directory per test, wiped on entry so reruns start clean.
+struct LeaseDirs {
+  explicit LeaseDirs(const std::string& tag)
+      : root(std::filesystem::path(::testing::TempDir()) / ("lease_test_" + tag)) {
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    claims = root / "claims";
+  }
+  ~LeaseDirs() { std::filesystem::remove_all(root); }
+
+  std::filesystem::path root;
+  std::filesystem::path claims;
+};
+
+/// Rewinds a lease file's mtime far past any TTL used in these tests —
+/// the deterministic stand-in for a holder that died long ago.
+void force_stale(const std::filesystem::path& lease_path) {
+  std::filesystem::last_write_time(
+      lease_path, std::filesystem::file_time_type::clock::now() - std::chrono::hours(2));
+}
+
+constexpr std::uint64_t kUnit = 0xfeedfacecafebeefull;
+
+TEST(LeaseTest, RejectsEmptyOwnerAndNonPositiveTtl) {
+  const LeaseDirs dirs("validate");
+  EXPECT_THROW(LeaseStore(dirs.claims, "", 30.0), ConfigError);
+  EXPECT_THROW(LeaseStore(dirs.claims, "w", 0.0), ConfigError);
+  EXPECT_THROW(LeaseStore(dirs.claims, "w", -1.0), ConfigError);
+}
+
+TEST(LeaseTest, ClaimHoldReleaseCycle) {
+  const LeaseDirs dirs("cycle");
+  const LeaseStore alice(dirs.claims, "alice", 30.0);
+  const LeaseStore bob(dirs.claims, "bob", 30.0);
+
+  EXPECT_EQ(alice.try_claim(kUnit), ClaimOutcome::kClaimed);
+  EXPECT_EQ(bob.try_claim(kUnit), ClaimOutcome::kHeld);
+
+  const auto info = bob.inspect(kUnit);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, "alice");
+  EXPECT_FALSE(bob.is_stale(kUnit));
+
+  alice.release(kUnit);
+  EXPECT_FALSE(std::filesystem::exists(alice.path_for(kUnit)));
+  EXPECT_EQ(bob.try_claim(kUnit), ClaimOutcome::kClaimed);
+  EXPECT_EQ(bob.inspect(kUnit)->owner, "bob");
+}
+
+TEST(LeaseTest, StaleLeaseIsStolenAndChangesOwner) {
+  const LeaseDirs dirs("steal");
+  const LeaseStore dead(dirs.claims, "dead-worker", 30.0);
+  const LeaseStore thief(dirs.claims, "thief", 30.0);
+
+  ASSERT_EQ(dead.try_claim(kUnit), ClaimOutcome::kClaimed);
+  EXPECT_FALSE(thief.is_stale(kUnit));
+  EXPECT_EQ(thief.try_claim(kUnit), ClaimOutcome::kHeld);
+
+  force_stale(dead.path_for(kUnit));
+  EXPECT_TRUE(thief.is_stale(kUnit));
+  EXPECT_EQ(thief.try_claim(kUnit), ClaimOutcome::kStolen);
+  EXPECT_EQ(thief.inspect(kUnit)->owner, "thief");
+  EXPECT_FALSE(thief.is_stale(kUnit));
+}
+
+TEST(LeaseTest, HeartbeatResetsStaleness) {
+  const LeaseDirs dirs("heartbeat");
+  const LeaseStore worker(dirs.claims, "worker", 30.0);
+
+  ASSERT_EQ(worker.try_claim(kUnit), ClaimOutcome::kClaimed);
+  force_stale(worker.path_for(kUnit));
+  ASSERT_TRUE(worker.is_stale(kUnit));
+
+  worker.refresh(kUnit);
+  EXPECT_FALSE(worker.is_stale(kUnit));
+  EXPECT_EQ(worker.inspect(kUnit)->owner, "worker");
+}
+
+TEST(LeaseTest, ConcurrentClaimsAdmitExactlyOneWinner) {
+  const LeaseDirs dirs("race");
+  constexpr std::size_t kWorkers = 8;
+
+  std::atomic<std::size_t> winners{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&dirs, &winners, w] {
+      const LeaseStore store(dirs.claims, "worker-" + std::to_string(w), 30.0);
+      if (store.try_claim(kUnit) == ClaimOutcome::kClaimed) ++winners;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(winners.load(), 1u);
+  const LeaseStore reader(dirs.claims, "reader", 30.0);
+  ASSERT_TRUE(reader.inspect(kUnit).has_value());
+}
+
+TEST(LeaseTest, ExclusiveWriteAdmitsExactlyOneWinnerWithItsFullPayload) {
+  const LeaseDirs dirs("exclusive");
+  const std::filesystem::path target = dirs.root / "winner.txt";
+  constexpr std::size_t kWriters = 8;
+
+  std::atomic<std::size_t> winners{0};
+  std::vector<std::string> payloads;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    payloads.push_back(std::string(4096, static_cast<char>('a' + static_cast<char>(w))));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      if (write_text_file_exclusive(target, payloads[w])) ++winners;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(winners.load(), 1u);
+  const std::string survivor = read_text_file(target);
+  std::size_t matches = 0;
+  for (const std::string& payload : payloads) {
+    if (survivor == payload) ++matches;
+  }
+  EXPECT_EQ(matches, 1u) << "survivor must be exactly one writer's complete payload";
+}
+
+// Satellite regression for the temp-naming hardening: before the pid+counter
+// suffix, two writers (think: two drain workers persisting the same unit)
+// could share one temp path — writer A's rename could then publish writer
+// B's half-written bytes. With per-writer temp names, racing atomic writes
+// of the same target must always leave one writer's *complete* payload.
+TEST(LeaseTest, RacingStoreWritersLeaveOneCompleteSurvivor) {
+  const LeaseDirs dirs("atomic_race");
+  const std::filesystem::path target = dirs.root / "store_entry.json";
+
+  const std::string payload_a(256 * 1024, 'A');
+  const std::string payload_b(256 * 1024, 'B');
+
+  constexpr std::size_t kRounds = 32;
+  std::thread writer_a([&] {
+    for (std::size_t i = 0; i < kRounds; ++i) write_text_file_atomic(target, payload_a);
+  });
+  std::thread writer_b([&] {
+    for (std::size_t i = 0; i < kRounds; ++i) write_text_file_atomic(target, payload_b);
+  });
+  writer_a.join();
+  writer_b.join();
+
+  const std::string survivor = read_text_file(target);
+  EXPECT_TRUE(survivor == payload_a || survivor == payload_b)
+      << "torn store entry: " << survivor.size() << " bytes, starts with '"
+      << (survivor.empty() ? ' ' : survivor.front()) << "'";
+
+  // No temp siblings may leak either way.
+  std::size_t temp_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dirs.root)) {
+    if (entry.path().filename() != "store_entry.json" &&
+        entry.path().filename() != "claims") {
+      ++temp_files;
+    }
+  }
+  EXPECT_EQ(temp_files, 0u);
+}
+
+TEST(LeaseTest, LeasePathIsContentAddressed) {
+  const LeaseDirs dirs("path");
+  const LeaseStore store(dirs.claims, "worker", 30.0);
+  const std::filesystem::path path = store.path_for(kUnit);
+  EXPECT_EQ(path.parent_path(), dirs.claims);
+  EXPECT_EQ(path.filename().string(), "feedfacecafebeef.lease");
+}
+
+}  // namespace
+}  // namespace manet

@@ -44,7 +44,7 @@ TEST(LintRuleTable, IsWellFormed) {
   // The rules the determinism contract documents must all exist.
   for (const char* id : {"locale-parse", "locale-format", "nondet-random", "nondet-time",
                          "nondet-ordering", "thread-confinement", "simd-confinement",
-                         "process-control"}) {
+                         "process-control", "socket-confinement"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
 }
@@ -211,6 +211,41 @@ TEST(LintProcessControl, CleanOnKillHookSeamAndPlainIdentifiers) {
   EXPECT_TRUE(lint("src/sim/foo.cpp",
                    "int exit_code = run();\n"
                    "throw ConfigError(\"fail\");  // exceptions, not exit()\n")
+                  .empty());
+}
+
+// ----- socket-confinement -------------------------------------------------
+
+TEST(LintSocketConfinement, FlagsSocketAndProcessSpawnSyscalls) {
+  const auto diags = lint("src/service/server.cpp",
+                          "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                          "::connect(fd, address, length);\n"
+                          "FILE* p = popen(\"uname\", \"r\");\n");
+  EXPECT_EQ(count_rule(diags, "socket-confinement"), 3u);
+}
+
+TEST(LintSocketConfinement, CoversToolsAndTests) {
+  EXPECT_EQ(count_rule(lint("tools/manetd/main.cpp", "::socketpair(d, t, 0, fds);\n"),
+                       "socket-confinement"),
+            1u);
+  EXPECT_EQ(count_rule(lint("tests/manetd_test.cpp", "fork();\n"), "socket-confinement"),
+            1u);
+}
+
+TEST(LintSocketConfinement, AllowedInsideTheSocketSeam) {
+  EXPECT_TRUE(lint("src/service/socket.cpp",
+                   "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                   "::bind(fd, address, length);\n"
+                   "::listen(fd, 16);\n")
+                  .empty());
+}
+
+TEST(LintSocketConfinement, CleanOnWrapperNamesAndNonCallUses) {
+  EXPECT_TRUE(lint("src/service/server.cpp",
+                   "Socket client = listener.wait_client();\n"
+                   "client.send_all(response);\n"
+                   "int socket_count = 3;  // a variable, not the syscall\n"
+                   "auto stream = dial_unix(path);\n")
                   .empty());
 }
 

@@ -1,0 +1,388 @@
+// Tests of the manetd query service (src/service/query.hpp, server.hpp,
+// lru_cache.hpp): the engine answers MTRM / r-quantile / phase-point
+// queries as pure functions of a loaded campaign (exact at the solved
+// knots, clamped piecewise-linear between them), the canonical cache key
+// ignores request-member order, the server's LRU byte-cache makes repeated
+// identical queries byte-identical with hits visible in "stats", and the
+// whole stack answers concurrent clients over a real Unix-domain socket.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/experiments.hpp"
+#include "core/mtrm.hpp"
+#include "service/lru_cache.hpp"
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/json.hpp"
+
+namespace manet {
+namespace {
+
+using service::LruCache;
+using service::ManetdServer;
+using service::QueryEngine;
+using service::ServerOptions;
+
+constexpr std::uint64_t kSeed = 20020623;
+
+/// Tag for the fixture's scratch directory. Under ctest discovery every
+/// test runs in its own process, and two of those processes run
+/// concurrently (`ctest -j`) — a fixed path would have them wiping each
+/// other's campaign mid-solve. The first test to touch the singleton names
+/// the directory, which is unique across concurrent processes because
+/// ctest never runs the same test twice at once.
+std::string fixture_tag() {
+  const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr) return "standalone";
+  return std::string(info->test_suite_name()) + "_" + info->name();
+}
+
+/// One tiny two-point campaign (node_count 12 vs 20, so the phase axis has
+/// two distinct knots), solved once and shared by every test in this binary.
+struct CampaignFixture {
+  CampaignFixture()
+      : root(std::filesystem::path(::testing::TempDir()) /
+             ("manetd_test_campaign_" + fixture_tag())) {
+    std::filesystem::remove_all(root);
+    campaign::CampaignOptions options;
+    options.dir = (root / "campaign").string();
+    options.store_dir = (root / "store").string();
+    options.quiet = true;
+
+    std::vector<MtrmConfig> configs(2);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      configs[i].node_count = i == 0 ? 12 : 20;
+      configs[i].side = 144.0;
+      configs[i].steps = 40;
+      configs[i].iterations = 4;
+      configs[i].mobility = MobilityConfig::paper_waypoint(144.0);
+    }
+    campaign::CampaignRunner runner("manetd_test", options);
+    (void)experiments::solve_mtrm_sweep(configs, kSeed, &runner);
+
+    campaign_dir = root / "campaign";
+    result = JsonValue::parse(read_text_file(campaign_dir / "result.json"));
+  }
+  ~CampaignFixture() { std::filesystem::remove_all(root); }
+
+  QueryEngine engine() const {
+    QueryEngine fresh;
+    fresh.load_campaign_dir(campaign_dir);
+    return fresh;
+  }
+
+  /// The recorded sample document for one sweep point.
+  const JsonValue& sample(std::size_t point) const {
+    return result.at("samples").items().at(point);
+  }
+
+  std::filesystem::path root;
+  std::filesystem::path campaign_dir;
+  JsonValue result;
+};
+
+const CampaignFixture& fixture() {
+  static CampaignFixture shared;
+  return shared;
+}
+
+JsonValue ask(const QueryEngine& engine, const std::string& request) {
+  return engine.handle(JsonValue::parse(request));
+}
+
+TEST(QueryEngine, HealthAndCampaignListing) {
+  const QueryEngine engine = fixture().engine();
+  EXPECT_EQ(engine.campaign_count(), 1u);
+  EXPECT_EQ(engine.sample_count(), 2u);
+
+  const JsonValue health = ask(engine, R"({"op": "health"})");
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("campaigns").as_uint(), 1u);
+  EXPECT_EQ(health.at("samples").as_uint(), 2u);
+
+  const JsonValue campaigns = ask(engine, R"({"op": "campaigns"})");
+  ASSERT_EQ(campaigns.at("campaigns").items().size(), 1u);
+  const JsonValue& entry = campaigns.at("campaigns").items().front();
+  EXPECT_EQ(entry.at("name").as_string(), "manetd_test");
+  EXPECT_EQ(entry.at("points").as_uint(), 2u);
+}
+
+TEST(QueryEngine, RejectsDuplicateCampaignAndMissingDir) {
+  QueryEngine engine = fixture().engine();
+  EXPECT_THROW(engine.load_campaign_dir(fixture().campaign_dir), ConfigError);
+  EXPECT_THROW(engine.load_campaign_dir(fixture().root / "no_such_dir"), ConfigError);
+}
+
+TEST(QueryEngine, MtrmStatsMatchTheRecordedSample) {
+  const QueryEngine engine = fixture().engine();
+  const JsonValue response =
+      ask(engine, R"({"op": "mtrm", "campaign": "manetd_test", "point": 0})");
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("node_count").as_double(), 12.0);
+  EXPECT_EQ(response.at("side").as_double(), 144.0);
+  EXPECT_EQ(response.at("mobility").as_string(), "random-waypoint");
+
+  // Every labeled statistic must reproduce the flattened vector exactly.
+  const JsonValue& sample = fixture().sample(0);
+  const auto& flattened = sample.at("flattened_result").items();
+  const auto labels = flatten_mtrm_labels(sample.at("time_fractions").items().size(),
+                                          sample.at("component_fractions").items().size());
+  ASSERT_EQ(labels.size(), flattened.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(response.at("stats").at(labels[i]).as_double(), flattened[i].as_double())
+        << labels[i];
+  }
+  EXPECT_EQ(response.at("result_checksum").as_string(),
+            sample.at("result_checksum").as_string());
+}
+
+TEST(QueryEngine, RQuantileIsExactAtKnotsAndBoundedBetweenThem) {
+  const QueryEngine engine = fixture().engine();
+  const JsonValue& sample = fixture().sample(0);
+  const auto& fractions = sample.at("time_fractions").items();
+  const auto& flattened = sample.at("flattened_result").items();
+  ASSERT_GE(fractions.size(), 2u);
+
+  // At each solved time fraction the interpolation must return that knot's
+  // mean range bit-for-bit (range_for_time[i].mean sits at flattened[2i]).
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    JsonValue request = JsonValue::object();
+    request.set("op", JsonValue::string("rquantile"));
+    request.set("campaign", JsonValue::string("manetd_test"));
+    request.set("point", JsonValue::number(std::size_t{0}));
+    request.set("fraction", JsonValue::number(fractions[i].as_double()));
+    const JsonValue response = engine.handle(request);
+    ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+    EXPECT_EQ(response.at("range").as_double(), flattened[2 * i].as_double());
+  }
+
+  // Between two adjacent knots the answer stays inside their value range.
+  std::vector<std::pair<double, double>> knots;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    knots.emplace_back(fractions[i].as_double(), flattened[2 * i].as_double());
+  }
+  std::sort(knots.begin(), knots.end());
+  const double mid_x = 0.5 * (knots[0].first + knots[1].first);
+  JsonValue request = JsonValue::object();
+  request.set("op", JsonValue::string("rquantile"));
+  request.set("campaign", JsonValue::string("manetd_test"));
+  request.set("point", JsonValue::number(std::size_t{0}));
+  request.set("fraction", JsonValue::number(mid_x));
+  const double mid_y = engine.handle(request).at("range").as_double();
+  EXPECT_GE(mid_y, std::min(knots[0].second, knots[1].second));
+  EXPECT_LE(mid_y, std::max(knots[0].second, knots[1].second));
+}
+
+TEST(QueryEngine, PhaseInterpolatesAndClampsOverTheSweepAxis) {
+  const QueryEngine engine = fixture().engine();
+  const auto stat_value = [&](const JsonValue& sample) {
+    const auto labels = flatten_mtrm_labels(sample.at("time_fractions").items().size(),
+                                            sample.at("component_fractions").items().size());
+    const auto it = std::find(labels.begin(), labels.end(), "mean_critical_range.mean");
+    EXPECT_NE(it, labels.end());
+    return sample.at("flattened_result")
+        .items()[static_cast<std::size_t>(it - labels.begin())]
+        .as_double();
+  };
+  const double at_12 = stat_value(fixture().sample(0));
+  const double at_20 = stat_value(fixture().sample(1));
+
+  const auto phase = [&](double value) {
+    JsonValue request = JsonValue::object();
+    request.set("op", JsonValue::string("phase"));
+    request.set("campaign", JsonValue::string("manetd_test"));
+    request.set("param", JsonValue::string("node_count"));
+    request.set("stat", JsonValue::string("mean_critical_range.mean"));
+    request.set("value", JsonValue::number(value));
+    const JsonValue response = engine.handle(request);
+    EXPECT_TRUE(response.at("ok").as_bool()) << response.dump();
+    return response.at("result").as_double();
+  };
+
+  EXPECT_EQ(phase(12.0), at_12);
+  EXPECT_EQ(phase(20.0), at_20);
+  const double mid = phase(16.0);
+  EXPECT_GE(mid, std::min(at_12, at_20));
+  EXPECT_LE(mid, std::max(at_12, at_20));
+  // Clamped outside the sweep — extrapolation would be an invented number.
+  EXPECT_EQ(phase(1.0), at_12);
+  EXPECT_EQ(phase(1000.0), at_20);
+}
+
+TEST(QueryEngine, MalformedQueriesProduceOkFalseNotThrows) {
+  const QueryEngine engine = fixture().engine();
+  for (const char* request : {
+           R"({"op": "no_such_op"})",
+           R"({"op": "mtrm", "campaign": "unknown", "point": 0})",
+           R"({"op": "mtrm", "campaign": "manetd_test", "point": 99})",
+           R"({"op": "rquantile", "campaign": "manetd_test", "point": 0, "fraction": 0.0})",
+           R"({"op": "phase", "campaign": "manetd_test", "param": "bogus", "value": 1,
+               "stat": "mean_critical_range.mean"})",
+           R"({"op": "phase", "campaign": "manetd_test", "param": "node_count", "value": 1,
+               "stat": "no.such.stat"})",
+           R"({"missing": "op"})",
+       }) {
+    const JsonValue response = ask(engine, request);
+    EXPECT_FALSE(response.at("ok").as_bool()) << request;
+    EXPECT_FALSE(response.at("error").as_string().empty()) << request;
+  }
+}
+
+TEST(QueryEngine, CacheKeyIgnoresRequestMemberOrder) {
+  const JsonValue a =
+      JsonValue::parse(R"({"op": "mtrm", "campaign": "manetd_test", "point": 0})");
+  const JsonValue b =
+      JsonValue::parse(R"({"point": 0, "op": "mtrm", "campaign": "manetd_test"})");
+  const JsonValue c =
+      JsonValue::parse(R"({"point": 1, "op": "mtrm", "campaign": "manetd_test"})");
+  EXPECT_EQ(QueryEngine::cache_key(a), QueryEngine::cache_key(b));
+  EXPECT_NE(QueryEngine::cache_key(a), QueryEngine::cache_key(c));
+}
+
+TEST(LruCacheTest, EvictsStrictlyLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  EXPECT_THROW(LruCache<int>(0), ConfigError);
+
+  cache.insert("a", 1);
+  cache.insert("b", 2);
+  ASSERT_NE(cache.find("a"), nullptr);  // refreshes "a": "b" is now LRU
+  cache.insert("c", 3);                 // evicts "b"
+  EXPECT_EQ(cache.find("b"), nullptr);
+  ASSERT_NE(cache.find("a"), nullptr);
+  EXPECT_EQ(*cache.find("a"), 1);
+  ASSERT_NE(cache.find("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ManetdServer, RespondCachesResponseBytesAndCountsHits) {
+  ServerOptions options;
+  options.socket_path = fixture().root / "unused.sock";
+  options.cache_capacity = 8;
+  options.quiet = true;
+  ManetdServer server(fixture().engine(), options);
+
+  const std::string query = R"({"op": "mtrm", "campaign": "manetd_test", "point": 0})";
+  const std::string first = server.respond(query);
+  const std::string second = server.respond(query);
+  EXPECT_EQ(first, second);
+  // Same query, different member order — one cache entry.
+  const std::string reordered =
+      server.respond(R"({"campaign": "manetd_test", "point": 0, "op": "mtrm"})");
+  EXPECT_EQ(first, reordered);
+  EXPECT_EQ(server.report().cache_misses, 1u);
+  EXPECT_EQ(server.report().cache_hits, 2u);
+
+  // Error responses are cached too.
+  const std::string bad = R"({"op": "mtrm", "campaign": "unknown", "point": 0})";
+  EXPECT_EQ(server.respond(bad), server.respond(bad));
+  EXPECT_EQ(server.report().cache_misses, 2u);
+  EXPECT_EQ(server.report().cache_hits, 3u);
+
+  // Unparsable lines are counted, answered, and never cached.
+  const std::string garbled = server.respond("this is not json");
+  EXPECT_FALSE(JsonValue::parse(garbled).at("ok").as_bool());
+  EXPECT_EQ(server.report().parse_errors, 1u);
+
+  // "stats" bypasses the cache and reports the accounting.
+  const JsonValue stats = JsonValue::parse(server.respond(R"({"op": "stats"})"));
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("cache_hits").as_uint(), 3u);
+  EXPECT_EQ(stats.at("cache_misses").as_uint(), 2u);
+  EXPECT_EQ(stats.at("cache_size").as_uint(), 2u);
+  EXPECT_EQ(stats.at("parse_errors").as_uint(), 1u);
+
+  // "stop" flips the shutdown flag.
+  EXPECT_FALSE(server.stop_requested());
+  const JsonValue stop = JsonValue::parse(server.respond(R"({"op": "stop"})"));
+  EXPECT_TRUE(stop.at("ok").as_bool());
+  EXPECT_TRUE(server.stop_requested());
+}
+
+/// Dials the server, retrying while it is still binding its socket.
+service::Socket dial_with_retry(const std::filesystem::path& socket_path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      return service::dial_unix(socket_path);
+    } catch (const ConfigError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return service::dial_unix(socket_path);  // last try: let the error surface
+}
+
+TEST(ManetdServer, ServesConcurrentClientsIdenticalBytesOverUnixSocket) {
+  if (!service::unix_sockets_available()) {
+    GTEST_SKIP() << "no Unix-domain sockets on this platform";
+  }
+
+  ServerOptions options;
+  options.socket_path = fixture().root / "manetd_test.sock";
+  options.cache_capacity = 32;
+  options.quiet = true;
+  ManetdServer server(fixture().engine(), options);
+
+  std::size_t served = 0;
+  std::thread server_thread([&] { served = server.serve(); });
+
+  const std::string query =
+      R"({"op": "rquantile", "campaign": "manetd_test", "point": 1, "fraction": 0.5})";
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRepeats = 2;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      service::Socket socket = dial_with_retry(options.socket_path);
+      for (std::size_t r = 0; r < kRepeats; ++r) {
+        socket.send_all(query + "\n");
+        std::string line;
+        ASSERT_TRUE(socket.read_line(line));
+        responses[c].push_back(line);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Every client saw the exact same bytes for the identical query.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), kRepeats);
+    for (const std::string& line : responses[c]) EXPECT_EQ(line, responses[0][0]);
+  }
+  EXPECT_TRUE(JsonValue::parse(responses[0][0]).at("ok").as_bool());
+
+  // One more client: stats must show the cache absorbing the repeats, then
+  // stop shuts the server down cleanly.
+  {
+    service::Socket socket = dial_with_retry(options.socket_path);
+    socket.send_all("{\"op\": \"stats\"}\n");
+    std::string line;
+    ASSERT_TRUE(socket.read_line(line));
+    const JsonValue stats = JsonValue::parse(line);
+    EXPECT_EQ(stats.at("cache_misses").as_uint(), 1u);
+    EXPECT_EQ(stats.at("cache_hits").as_uint(), kClients * kRepeats - 1);
+
+    socket.send_all("{\"op\": \"stop\"}\n");
+    ASSERT_TRUE(socket.read_line(line));
+    EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  }
+  server_thread.join();
+  // 8 queries + stats + stop.
+  EXPECT_EQ(served, kClients * kRepeats + 2);
+}
+
+}  // namespace
+}  // namespace manet

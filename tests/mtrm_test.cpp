@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -160,6 +165,39 @@ TEST(SolveMtrm, CustomFractionsAreHonored) {
   // rl at phi=1.0 requires the mean LCC to be n: at least the per-iteration
   // r100, hence >= rl at 0.25.
   EXPECT_GE(result.range_for_component[1].mean(), result.range_for_component[0].mean());
+}
+
+TEST(MtrmTest, FlattenLabelsMatchFlattenLayout) {
+  MtrmConfig config = small_config();
+  config.time_fractions = {1.0, 0.9, 0.1};
+  config.component_fractions = {0.5, 0.9};
+  Rng rng(10);
+  const MtrmResult result = solve_mtrm<2>(config, rng);
+  const std::vector<double> flattened = flatten_mtrm_result(result);
+  const std::vector<std::string> labels =
+      flatten_mtrm_labels(config.time_fractions.size(), config.component_fractions.size());
+
+  // One label per slot, no duplicates — the addressing manetd relies on.
+  ASSERT_EQ(labels.size(), flattened.size());
+  EXPECT_EQ(std::set<std::string>(labels.begin(), labels.end()).size(), labels.size());
+
+  // Spot-check the anchors of the layout against the struct fields.
+  const auto index_of = [&](const std::string& label) {
+    const auto it = std::find(labels.begin(), labels.end(), label);
+    EXPECT_NE(it, labels.end()) << label;
+    return static_cast<std::size_t>(it - labels.begin());
+  };
+  EXPECT_EQ(index_of("range_for_time[0].mean"), 0u);
+  EXPECT_EQ(flattened[index_of("range_for_time[1].mean")], result.range_for_time[1].mean());
+  EXPECT_EQ(flattened[index_of("range_never_connected.mean")],
+            result.range_never_connected.mean());
+  EXPECT_EQ(flattened[index_of("range_for_component[1].mean")],
+            result.range_for_component[1].mean());
+  EXPECT_EQ(flattened[index_of("lcc_at_range_for_time[2].mean")],
+            result.lcc_at_range_for_time[2].mean());
+  EXPECT_EQ(flattened[index_of("mean_critical_range.mean")],
+            result.mean_critical_range.mean());
+  EXPECT_EQ(index_of("mean_critical_range.mean"), labels.size() - 1);
 }
 
 }  // namespace

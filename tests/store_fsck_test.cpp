@@ -1,0 +1,172 @@
+// Tests of the store integrity audit (src/service/fsck.hpp, surfaced as
+// `manet-store --fsck`): a store populated by a real campaign run passes,
+// every way an entry can lie about itself — torn bytes, foreign JSON, an
+// entry renamed to the wrong address — is reported, quarantine moves the
+// offenders aside without touching good entries, and a rerun of the
+// campaign heals the store back to a clean audit with byte-identical
+// results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/experiments.hpp"
+#include "service/fsck.hpp"
+#include "support/fs.hpp"
+
+namespace manet {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignRunner;
+using service::fsck_store;
+using service::FsckReport;
+
+constexpr std::uint64_t kSeed = 20020623;
+
+/// Fresh scratch directories per test, wiped on entry so reruns start clean.
+struct FsckDirs {
+  explicit FsckDirs(const std::string& tag)
+      : root(std::filesystem::path(::testing::TempDir()) / ("fsck_test_" + tag)) {
+    std::filesystem::remove_all(root);
+    campaign_dir = (root / "campaign").string();
+    store_dir = root / "store";
+  }
+  ~FsckDirs() { std::filesystem::remove_all(root); }
+
+  CampaignOptions options() const {
+    CampaignOptions opts;
+    opts.dir = campaign_dir;
+    opts.store_dir = store_dir.string();
+    opts.quiet = true;
+    return opts;
+  }
+
+  std::filesystem::path root;
+  std::string campaign_dir;
+  std::filesystem::path store_dir;
+};
+
+/// One-point sweep: enough store entries to corrupt selectively, cheap
+/// enough to rerun for the heal check.
+std::vector<MtrmConfig> tiny_sweep() {
+  return {experiments::waypoint_experiment(256.0, Preset::kQuick)};
+}
+
+/// Runs the campaign, returning the result.json bytes.
+std::string populate(const FsckDirs& dirs, const std::vector<MtrmConfig>& configs) {
+  CampaignRunner runner("fsck_test", dirs.options());
+  (void)experiments::solve_mtrm_sweep(configs, kSeed, &runner);
+  return read_text_file(std::filesystem::path(dirs.campaign_dir) / "result.json");
+}
+
+std::vector<std::filesystem::path> store_entries(const std::filesystem::path& store_dir) {
+  std::vector<std::filesystem::path> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(store_dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      entries.push_back(entry.path());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+TEST(StoreFsck, CleanStorePasses) {
+  const FsckDirs dirs("clean");
+  (void)populate(dirs, tiny_sweep());
+
+  const FsckReport report = fsck_store(dirs.store_dir, /*quarantine=*/false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.scanned, 0u);
+  EXPECT_EQ(report.ok, report.scanned);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.scanned, store_entries(dirs.store_dir).size());
+}
+
+TEST(StoreFsck, MissingStoreDirectoryIsClean) {
+  const FsckDirs dirs("missing");
+  const FsckReport report = fsck_store(dirs.store_dir / "never_created", false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.scanned, 0u);
+}
+
+TEST(StoreFsck, DetectsTornForeignAndMisaddressedEntries) {
+  const FsckDirs dirs("detect");
+  (void)populate(dirs, tiny_sweep());
+  const auto entries = store_entries(dirs.store_dir);
+  ASSERT_GE(entries.size(), 2u);
+
+  // Torn/tampered bytes at a valid address.
+  write_text_file_atomic(entries[0], "{\"schema_version\": 1, \"kind\": \"manet-ca");
+  // A valid entry copied to the wrong address (renamed by hand).
+  const std::string moved_content = read_text_file(entries[1]);
+  const std::filesystem::path misaddressed =
+      dirs.store_dir / "00112233445566ff.json";
+  write_text_file_atomic(misaddressed, moved_content);
+  // Foreign JSON dropped into the store.
+  const std::filesystem::path foreign = dirs.store_dir / "deadbeefdeadbeef.json";
+  write_text_file_atomic(foreign, "{\"hello\": 1}\n");
+
+  const FsckReport report = fsck_store(dirs.store_dir, /*quarantine=*/false);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.issues.size(), 3u);
+  EXPECT_EQ(report.ok + report.issues.size(), report.scanned);
+  // Without quarantine nothing moves.
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_TRUE(std::filesystem::exists(entries[0]));
+  EXPECT_TRUE(std::filesystem::exists(misaddressed));
+  EXPECT_TRUE(std::filesystem::exists(foreign));
+}
+
+TEST(StoreFsck, QuarantineMovesOffendersAndRerunHeals) {
+  const FsckDirs dirs("heal");
+  const auto configs = tiny_sweep();
+  const std::string reference_bytes = populate(dirs, configs);
+  const auto entries = store_entries(dirs.store_dir);
+  ASSERT_FALSE(entries.empty());
+
+  write_text_file_atomic(entries[0], "garbage, not even json");
+
+  const FsckReport report = fsck_store(dirs.store_dir, /*quarantine=*/true);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(entries[0]));
+  EXPECT_TRUE(std::filesystem::exists(dirs.store_dir / "quarantine" /
+                                      entries[0].filename()));
+
+  // The next campaign run recomputes the quarantined unit; the store audits
+  // clean again and the result is byte-identical to the pre-corruption run.
+  const std::string healed_bytes = populate(dirs, configs);
+  EXPECT_EQ(healed_bytes, reference_bytes);
+  const FsckReport after = fsck_store(dirs.store_dir, /*quarantine=*/false);
+  EXPECT_TRUE(after.clean());
+}
+
+TEST(StoreFsck, SkipsClaimsTempSiblingsAndQuarantine) {
+  const FsckDirs dirs("skips");
+  (void)populate(dirs, tiny_sweep());
+  const std::size_t baseline = fsck_store(dirs.store_dir, false).scanned;
+
+  // Simulated drain-worker droppings: a lease, a temp sibling mid-write,
+  // and a previously quarantined entry. None are store entries.
+  std::filesystem::create_directories(dirs.store_dir / "claims");
+  write_text_file_atomic(dirs.store_dir / "claims" / "feedfacecafebeef.lease",
+                         "{\"owner\": \"w0\"}");
+  write_text_file_atomic(dirs.store_dir / "0123456789abcdef.json.tmp.1234.1",
+                         "half-written");
+  std::filesystem::create_directories(dirs.store_dir / "quarantine");
+  write_text_file_atomic(dirs.store_dir / "quarantine" / "deadbeefdeadbeef.json",
+                         "previously quarantined");
+
+  const FsckReport report = fsck_store(dirs.store_dir, false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.scanned, baseline);
+}
+
+}  // namespace
+}  // namespace manet

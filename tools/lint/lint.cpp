@@ -119,10 +119,29 @@ std::vector<Rule> build_rules() {
       "process-control",
       "process termination is confined to the campaign kill-hook seam "
       "(src/campaign/campaign.cpp); libraries report failure via exceptions",
-      {"src", "bench"},
+      {"src", "bench", "tools"},
       {"src/campaign/campaign.cpp"},
       {component_call("exit"), component_call("_exit"), component_call("_Exit"),
        component_call("quick_exit"), component_call("abort"), component_call("terminate")},
+  });
+
+  table.push_back(Rule{
+      "socket-confinement",
+      "socket and process-spawn syscalls are confined to src/service/socket.cpp "
+      "(the manetd transport); everything else speaks through the Socket / "
+      "UnixListener wrappers so I/O never leaks into simulation or campaign "
+      "code",
+      {"src", "bench", "tests", "tools"},
+      {"src/service/socket.cpp"},
+      {component_call("socket"), component_call("bind"), component_call("listen"),
+       component_call("accept"), component_call("accept4"), component_call("connect"),
+       component_call("recv"), component_call("recvfrom"), component_call("recvmsg"),
+       component_call("send"), component_call("sendto"), component_call("sendmsg"),
+       component_call("setsockopt"), component_call("getsockopt"),
+       component_call("socketpair"), component_call("fork"), component_call("vfork"),
+       component_call("execve"), component_call("execl"), component_call("execlp"),
+       component_call("execv"), component_call("execvp"), component_call("posix_spawn"),
+       component_call("popen"), component_call("system")},
   });
 
   return table;

@@ -7,7 +7,7 @@
 
 namespace manet::lint {
 
-/// manet-lint: the project-specific determinism & portability linter.
+/// The project-specific determinism & portability linter.
 ///
 /// The repo's core guarantee — bit-identical results across thread counts,
 /// resumes, hosts and locales — is a set of *source-level* invariants that a
@@ -16,13 +16,16 @@ namespace manet::lint {
 /// layer only, hash-ordered containers nowhere near a result path. This
 /// library enforces those invariants with a comment/string-literal-aware
 /// lexer and a declarative rule table (rules()); the `manet_lint` binary
-/// (tools/lint/main.cpp) drives it over src/, bench/ and tests/.
+/// (tools/lint/main.cpp) drives it over src/, bench/, tests/ and tools/.
 ///
 /// Escape hatches, both requiring a stated reason:
 ///  * file-level: an entry in tools/lint/lint_policy.json
 ///    ({"rule": ..., "file": ..., "reason": ...});
-///  * line-level: `// manet-lint: allow(<rule>[, <rule>...]) — <reason>`
-///    on the offending line, or alone on the line above it.
+///  * line-level: a suppression comment — "allow(rule-id, ...) dash reason"
+///    after the linter's own marker prefix — on the offending line, or alone
+///    on the line above it. (The exact spelling is not written out here: the
+///    linter scans this header too, and a literal example would parse as a
+///    malformed suppression.)
 
 /// One finding, rendered as "file:line: rule-id: message".
 struct Diagnostic {

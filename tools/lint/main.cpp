@@ -1,6 +1,6 @@
-// manet-lint driver: walks src/, bench/ and tests/ under the repo root,
-// lints every C++ source against the determinism rule table (lint.hpp) and
-// exits nonzero on any unsuppressed violation. Run locally via the `lint`
+// manet-lint driver: walks src/, bench/, tests/ and tools/ under the repo
+// root, lints every C++ source against the determinism rule table (lint.hpp)
+// and exits nonzero on any unsuppressed violation. Run locally via the `lint`
 // CMake target or scripts/run_static_analysis.sh; CI runs it on every PR.
 
 #include <algorithm>
@@ -19,7 +19,7 @@
 namespace {
 
 /// Directories the determinism contract covers, in scan order.
-constexpr const char* kScanDirs[] = {"src", "bench", "tests"};
+constexpr const char* kScanDirs[] = {"src", "bench", "tests", "tools"};
 
 bool has_cpp_extension(const std::filesystem::path& path) {
   const std::string ext = path.extension().string();
@@ -60,7 +60,8 @@ void print_rules() {
 int main(int argc, char** argv) {
   try {
     manet::CliParser cli(
-        "manet-lint: determinism & portability rules over src/, bench/ and tests/.\n"
+        "manet-lint: determinism & portability rules over src/, bench/, tests/ "
+        "and tools/.\n"
         "Diagnostics: <file>:<line>: <rule-id>: <message>; exit 1 on violations.");
     cli.add_option("root", "repository root to scan", ".");
     cli.add_option("policy",

@@ -1,0 +1,103 @@
+// manetd: the long-running connectivity query service (DESIGN.md §16).
+//
+// Server mode (default): load completed campaign result.json files once,
+// then answer line-delimited JSON queries over a Unix-domain socket until a
+// {"op":"stop"} request arrives:
+//
+//   manetd --socket /tmp/manetd.sock --campaigns-root results/campaigns
+//   manetd --socket /tmp/manetd.sock --campaign-dir results/campaigns/fig7
+//
+// Client mode (--connect): send one query (or stdin, line by line) to a
+// running server and print the response lines — the smoke scripts' client:
+//
+//   manetd --connect /tmp/manetd.sock --query '{"op":"health"}'
+//   printf '%s\n' '{"op":"campaigns"}' '{"op":"stop"}' | manetd --connect ...
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "service/query.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+int run_client(const std::string& socket_path, const std::string& query) {
+  manet::service::Socket stream = manet::service::dial_unix(socket_path);
+  const auto ask = [&stream](const std::string& line) {
+    stream.send_all(line + "\n");
+    std::string response;
+    if (!stream.read_line(response)) {
+      throw manet::ConfigError("server closed the connection without responding");
+    }
+    std::cout << response << '\n';
+  };
+  if (!query.empty()) {
+    ask(query);
+    return 0;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty()) ask(line);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    manet::CliParser cli(
+        "manetd: connectivity query service over completed campaign results.\n"
+        "Line-delimited JSON over a Unix-domain socket; ops: health, campaigns,\n"
+        "mtrm, rquantile, phase, stats, stop.");
+    cli.add_option("socket", "Unix-domain socket path to serve on", "");
+    cli.add_option("campaign-dir",
+                   "load one campaign directory (its result.json); repeat runs merge "
+                   "into --campaigns-root",
+                   "");
+    cli.add_option("campaigns-root",
+                   "load every subdirectory holding a result.json", "");
+    cli.add_option("cache-capacity", "response cache capacity (entries)", "256");
+    cli.add_flag("quiet", "suppress lifecycle lines on stderr");
+    cli.add_option("connect", "client mode: connect to this socket instead of serving",
+                   "");
+    cli.add_option("query",
+                   "client mode: send this one JSON request (default: read stdin)", "");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+
+    if (!cli.string_value("connect").empty()) {
+      return run_client(cli.string_value("connect"), cli.string_value("query"));
+    }
+
+    manet::service::QueryEngine engine;
+    if (!cli.string_value("campaign-dir").empty()) {
+      engine.load_campaign_dir(cli.string_value("campaign-dir"));
+    }
+    if (!cli.string_value("campaigns-root").empty()) {
+      engine.load_campaigns_root(cli.string_value("campaigns-root"));
+    }
+    if (engine.campaign_count() == 0) {
+      throw manet::ConfigError(
+          "no campaigns loaded (pass --campaign-dir and/or --campaigns-root)");
+    }
+
+    manet::service::ServerOptions options;
+    options.socket_path = cli.string_value("socket");
+    options.cache_capacity = static_cast<std::size_t>(cli.uint_value("cache-capacity"));
+    options.quiet = cli.flag("quiet");
+    manet::service::ManetdServer server(std::move(engine), std::move(options));
+    server.serve();
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "manetd: error: " << error.what() << '\n';
+    return 2;
+  }
+}

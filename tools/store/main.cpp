@@ -1,0 +1,52 @@
+// manet-store: maintenance CLI for the content-addressed campaign store.
+//
+//   manet_store --fsck --store-dir results/store
+//   manet_store --fsck --quarantine --store-dir results/store
+//
+// --fsck re-hashes every entry's canonical string against its recorded key
+// and its file name (the content-address invariant) and reports corrupt or
+// foreign files; exit 1 when any are found, so CI can gate on store health.
+// --quarantine additionally moves offenders to <store>/quarantine/, after
+// which the next campaign run recomputes them — the store heals itself.
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "service/fsck.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    manet::CliParser cli(
+        "manet-store: maintenance for the content-addressed campaign store.\n"
+        "Exit codes: 0 store sound, 1 integrity issues found, 2 usage/IO error.");
+    cli.add_flag("fsck", "re-hash every store entry against its content address");
+    cli.add_flag("quarantine", "move offending entries to <store>/quarantine/");
+    cli.add_option("store-dir", "content-addressed unit store to audit", "results/store");
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    if (!cli.flag("fsck")) {
+      throw manet::ConfigError("nothing to do (pass --fsck)");
+    }
+
+    const std::string store_dir = cli.string_value("store-dir");
+    const manet::service::FsckReport report =
+        manet::service::fsck_store(store_dir, cli.flag("quarantine"));
+
+    for (const manet::service::FsckIssue& issue : report.issues) {
+      std::cout << issue.path.generic_string() << ": " << issue.reason << '\n';
+    }
+    std::cerr << "manet-store: fsck " << store_dir << ": " << report.scanned
+              << " entries, " << report.ok << " ok, " << report.issues.size()
+              << " issue(s), " << report.quarantined << " quarantined\n";
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "manet-store: error: " << error.what() << '\n';
+    return 2;
+  }
+}
