@@ -21,7 +21,7 @@ void add_drain_cli_options(CliParser& cli) {
                  "seconds to sleep between claim passes when every remaining unit "
                  "is leased to another worker",
                  "0.05");
-  cli.add_option("drain-wait",
+  cli.add_option("drain-max-wait",
                  "abort after this many seconds of accumulated waiting without any "
                  "unit completing",
                  "600");
@@ -41,7 +41,7 @@ DrainOptions drain_options_from_cli(const CliParser& cli,
   }
   options.lease_ttl_seconds = cli.double_value("lease-ttl");
   options.poll_seconds = cli.double_value("drain-poll");
-  options.max_wait_seconds = cli.double_value("drain-wait");
+  options.max_wait_seconds = cli.double_value("drain-max-wait");
   return options;
 }
 

@@ -16,7 +16,7 @@ namespace manet::service {
 ///                        --distributed, unique per concurrent worker)
 ///   --lease-ttl SECONDS  staleness horizon before a lease may be stolen
 ///   --drain-poll SECONDS sleep between passes when all units are held
-///   --drain-wait SECONDS give up after this much progress-free waiting
+///   --drain-max-wait SECONDS give up after this much progress-free waiting
 void add_drain_cli_options(CliParser& cli);
 
 /// True when the registered flags ask for distributed mode.
@@ -25,7 +25,7 @@ bool drain_requested(const CliParser& cli);
 /// Materializes DrainOptions from parsed flags; the campaign sub-options
 /// come from campaign_options_from_cli (so every --campaign-* flag keeps
 /// its meaning in distributed mode). Throws ConfigError on inconsistent
-/// values (missing --worker-id, non-positive TTL/poll).
+/// values (missing --worker-id, non-positive TTL/poll/max-wait).
 DrainOptions drain_options_from_cli(const CliParser& cli, const std::string& campaign_name);
 
 }  // namespace manet::service

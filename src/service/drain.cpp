@@ -65,6 +65,9 @@ DistributedCampaignRunner::DistributedCampaignRunner(std::string name, DrainOpti
   if (!(options_.poll_seconds > 0.0)) {
     throw ConfigError("drain: --drain-poll must be > 0 seconds");
   }
+  if (!(options_.max_wait_seconds > 0.0)) {
+    throw ConfigError("drain: --drain-max-wait must be > 0 seconds");
+  }
 }
 
 std::vector<MtrmResult> DistributedCampaignRunner::run_points(

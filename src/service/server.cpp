@@ -107,6 +107,10 @@ std::string ManetdServer::respond(const std::string& line) {
 }
 
 std::size_t ManetdServer::serve() {
+  // send_all already uses MSG_NOSIGNAL where available; this covers the
+  // platforms that lack the flag, so a client hanging up before reading its
+  // response always surfaces as EPIPE -> ConfigError below, never SIGPIPE.
+  ignore_sigpipe();
   UnixListener listener(options_.socket_path);
   if (!options_.quiet) {
     std::fprintf(stderr, "[manetd] serving %zu campaigns on %s\n",
@@ -118,6 +122,9 @@ std::size_t ManetdServer::serve() {
     ++report_.connections;
     server_metrics().connections.increment();
     try {
+      if (options_.client_timeout_seconds > 0.0) {
+        client.set_receive_timeout(options_.client_timeout_seconds);
+      }
       std::string line;
       while (!stop_requested_ && client.read_line(line)) {
         std::string response = respond(line);
@@ -125,8 +132,9 @@ std::size_t ManetdServer::serve() {
         client.send_all(response);
       }
     } catch (const ConfigError& error) {
-      // A misbehaving client (oversized line, mid-line hangup, dead pipe)
-      // ends its own session only; the server keeps accepting.
+      // A misbehaving client (oversized line, mid-line hangup, dead pipe,
+      // idle past the receive timeout) ends its own session only; the
+      // server keeps accepting.
       if (!options_.quiet) {
         std::fprintf(stderr, "[manetd] client error: %s\n", error.what());
       }

@@ -15,6 +15,11 @@ struct ServerOptions {
   std::filesystem::path socket_path;
   /// Response byte-cache capacity (entries).
   std::size_t cache_capacity = 256;
+  /// Seconds a connected client may sit idle (no complete request line)
+  /// before its session is dropped. The accept loop is sequential, so
+  /// without this bound one stalled client would wedge every other client —
+  /// including the {"op":"stop"} shutdown request. <= 0 disables the bound.
+  double client_timeout_seconds = 30.0;
   /// Suppresses the stderr lifecycle lines (tests).
   bool quiet = false;
 };
@@ -34,7 +39,9 @@ struct ServerReport {
 /// one response line per request, clients served sequentially in accept
 /// order (the engine answers from preloaded in-memory data, so a query is
 /// microseconds — concurrency would buy nothing and cost the determinism of
-/// the request trace).
+/// the request trace). Because the loop is sequential, each accepted client
+/// runs under `client_timeout_seconds`: a client that stalls mid-line is
+/// dropped so the clients queued behind it get served.
 ///
 /// Responses to the pure query ops (campaigns/mtrm/rquantile/phase) flow
 /// through a deterministic LRU byte-cache keyed on the canonicalized

@@ -1,6 +1,8 @@
 #include "service/socket.hpp"
 
 #include <cerrno>
+#include <cmath>
+#include <csignal>
 #include <cstring>
 #include <system_error>
 #include <utility>
@@ -9,6 +11,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #define MANET_HAVE_UNIX_SOCKETS 1
@@ -38,6 +41,12 @@ constexpr std::size_t kMaxLineBytes = 8u * 1024u * 1024u;
 
 bool unix_sockets_available() noexcept { return MANET_HAVE_UNIX_SOCKETS != 0; }
 
+void ignore_sigpipe() noexcept {
+#if MANET_HAVE_UNIX_SOCKETS
+  ::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
 Socket::~Socket() { close_stream(); }
 
 Socket::Socket(Socket&& other) noexcept
@@ -64,7 +73,15 @@ void Socket::send_all(std::string_view data) const {
   if (fd_ < 0) throw ConfigError("send_all on a closed socket");
   std::size_t offset = 0;
   while (offset < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE -> ConfigError,
+    // not raise SIGPIPE and take down the whole process. Platforms without
+    // the flag (macOS) rely on ignore_sigpipe() having been called.
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n =
+        ::send(fd_, data.data() + offset, data.size() - offset, MSG_NOSIGNAL);
+#else
     const ssize_t n = ::write(fd_, data.data() + offset, data.size() - offset);
+#endif
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("socket write failed");
@@ -73,6 +90,28 @@ void Socket::send_all(std::string_view data) const {
   }
 #else
   (void)data;
+  throw_unsupported();
+#endif
+}
+
+void Socket::set_receive_timeout(double seconds) const {
+#if MANET_HAVE_UNIX_SOCKETS
+  if (fd_ < 0) throw ConfigError("set_receive_timeout on a closed socket");
+  timeval window{};
+  if (seconds > 0.0) {
+    window.tv_sec = static_cast<time_t>(seconds);
+    window.tv_usec = static_cast<suseconds_t>(
+        std::lround((seconds - static_cast<double>(window.tv_sec)) * 1e6));
+    if (window.tv_usec >= 1000000) {
+      ++window.tv_sec;
+      window.tv_usec = 0;
+    }
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &window, sizeof window) != 0) {
+    throw_errno("cannot set socket receive timeout");
+  }
+#else
+  (void)seconds;
   throw_unsupported();
 #endif
 }
@@ -95,6 +134,9 @@ bool Socket::read_line(std::string& line) {
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ConfigError("socket read timed out (idle peer)");
+      }
       throw_errno("socket read failed");
     }
     if (n == 0) {

@@ -11,6 +11,13 @@ namespace manet::service {
 /// simulation and campaign layers never depend on sockets, only manetd does.
 bool unix_sockets_available() noexcept;
 
+/// Ignores SIGPIPE process-wide. send_all already asks for MSG_NOSIGNAL
+/// where the platform has it, but on hosts without that flag a peer that
+/// hangs up before reading would otherwise kill the whole process instead
+/// of surfacing EPIPE as a ConfigError — servers call this once before
+/// their accept loop. No-op where Unix sockets are unavailable.
+void ignore_sigpipe() noexcept;
+
 /// RAII handle over one connected byte stream. Move-only; the descriptor is
 /// closed on destruction. The only I/O shapes manetd needs are "send these
 /// bytes" and "give me the next newline-terminated line", so that is the
@@ -36,9 +43,16 @@ class Socket {
 
   /// Reads up to and including the next '\n'; `line` receives the bytes
   /// without the terminator. Returns false on clean end-of-stream before any
-  /// byte of a new line. Throws ConfigError on I/O errors and on lines
-  /// exceeding an 8 MiB sanity bound (a runaway or malicious peer).
+  /// byte of a new line. Throws ConfigError on I/O errors, on lines
+  /// exceeding an 8 MiB sanity bound (a runaway or malicious peer), and
+  /// when a receive timeout armed via set_receive_timeout expires.
   bool read_line(std::string& line);
+
+  /// Arms SO_RCVTIMEO: a read_line that sits idle longer than `seconds`
+  /// throws ConfigError instead of blocking forever (a stalled client must
+  /// not wedge a sequential accept loop). Non-positive seconds restores the
+  /// default blocking behaviour. Throws ConfigError on a closed socket.
+  void set_receive_timeout(double seconds) const;
 
   /// Closes the descriptor early (idempotent).
   void close_stream() noexcept;

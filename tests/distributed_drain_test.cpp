@@ -126,6 +126,12 @@ TEST(DistributedDrain, ValidatesOptions) {
   DrainOptions bad_poll = dirs.drain_options("w0");
   bad_poll.poll_seconds = -0.5;
   EXPECT_THROW(DistributedCampaignRunner("drain_test", bad_poll), ConfigError);
+
+  // A non-positive stall horizon would fire "campaign looks wedged" on the
+  // very first idle pass — reject it up front like the TTL and poll knobs.
+  DrainOptions bad_max_wait = dirs.drain_options("w0");
+  bad_max_wait.max_wait_seconds = 0.0;
+  EXPECT_THROW(DistributedCampaignRunner("drain_test", bad_max_wait), ConfigError);
 }
 
 TEST(DistributedDrain, SingleWorkerMatchesSingleProcessByteIdentical) {

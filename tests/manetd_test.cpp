@@ -384,5 +384,74 @@ TEST(ManetdServer, ServesConcurrentClientsIdenticalBytesOverUnixSocket) {
   EXPECT_EQ(served, kClients * kRepeats + 2);
 }
 
+TEST(ManetdServer, IdleClientTimesOutWithoutWedgingTheAcceptLoop) {
+  if (!service::unix_sockets_available()) {
+    GTEST_SKIP() << "no Unix-domain sockets on this platform";
+  }
+
+  ServerOptions options;
+  options.socket_path = fixture().root / "manetd_idle.sock";
+  options.cache_capacity = 8;
+  options.client_timeout_seconds = 0.2;
+  options.quiet = true;
+  ManetdServer server(fixture().engine(), options);
+
+  std::size_t served = 0;
+  std::thread server_thread([&] { served = server.serve(); });
+
+  // First client connects and never sends a byte: the sequential accept loop
+  // must drop it after client_timeout_seconds instead of blocking forever.
+  service::Socket idle = dial_with_retry(options.socket_path);
+
+  // Second client, queued behind the idler, must still get answered — and
+  // its stop request must still shut the server down cleanly.
+  service::Socket active = dial_with_retry(options.socket_path);
+  active.send_all("{\"op\": \"health\"}\n{\"op\": \"stop\"}\n");
+  std::string line;
+  ASSERT_TRUE(active.read_line(line));
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(active.read_line(line));
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+
+  server_thread.join();
+  idle.close_stream();
+  EXPECT_EQ(served, 2u);
+}
+
+TEST(ManetdServer, ClientHangupBeforeReadingDoesNotKillTheServer) {
+  if (!service::unix_sockets_available()) {
+    GTEST_SKIP() << "no Unix-domain sockets on this platform";
+  }
+
+  ServerOptions options;
+  options.socket_path = fixture().root / "manetd_hangup.sock";
+  options.cache_capacity = 8;
+  options.client_timeout_seconds = 5.0;
+  options.quiet = true;
+  ManetdServer server(fixture().engine(), options);
+
+  std::thread server_thread([&] { (void)server.serve(); });
+
+  // A client queues a burst of requests and hangs up without reading any
+  // response: once the peer is gone, the server's send raises EPIPE (dead
+  // pipe). That must end only this client's session — never the process via
+  // SIGPIPE — so the next client still gets served.
+  {
+    service::Socket rude = dial_with_retry(options.socket_path);
+    std::string burst;
+    for (int i = 0; i < 64; ++i) burst += "{\"op\": \"health\"}\n";
+    rude.send_all(burst);
+  }  // destructor closes the socket with every response unread
+
+  service::Socket polite = dial_with_retry(options.socket_path);
+  polite.send_all("{\"op\": \"health\"}\n{\"op\": \"stop\"}\n");
+  std::string line;
+  ASSERT_TRUE(polite.read_line(line));
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(polite.read_line(line));
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  server_thread.join();
+}
+
 }  // namespace
 }  // namespace manet

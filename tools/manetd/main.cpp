@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
     cli.add_option("campaigns-root",
                    "load every subdirectory holding a result.json", "");
     cli.add_option("cache-capacity", "response cache capacity (entries)", "256");
+    cli.add_option("client-timeout",
+                   "seconds an idle client may hold the sequential accept loop "
+                   "before its session is dropped (0 disables)",
+                   "30");
     cli.add_flag("quiet", "suppress lifecycle lines on stderr");
     cli.add_option("connect", "client mode: connect to this socket instead of serving",
                    "");
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     manet::service::ServerOptions options;
     options.socket_path = cli.string_value("socket");
     options.cache_capacity = static_cast<std::size_t>(cli.uint_value("cache-capacity"));
+    options.client_timeout_seconds = cli.double_value("client-timeout");
     options.quiet = cli.flag("quiet");
     manet::service::ManetdServer server(std::move(engine), std::move(options));
     server.serve();
