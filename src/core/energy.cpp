@@ -5,7 +5,7 @@
 namespace manet {
 
 double EnergyModel::transmit_power(double range) const {
-  MANET_EXPECTS(range >= 0.0);
+  if (!(range >= 0.0)) throw ConfigError("EnergyModel::transmit_power: range must be >= 0");
   return std::pow(range, alpha_);
 }
 
@@ -14,8 +14,10 @@ double EnergyModel::network_power(std::size_t node_count, double range) const {
 }
 
 double EnergyModel::savings(double r_base, double r_reduced) const {
-  MANET_EXPECTS(r_base > 0.0);
-  MANET_EXPECTS(r_reduced >= 0.0 && r_reduced <= r_base);
+  if (!(r_base > 0.0)) throw ConfigError("EnergyModel::savings: r_base must be > 0");
+  if (!(r_reduced >= 0.0 && r_reduced <= r_base)) {
+    throw ConfigError("EnergyModel::savings: r_reduced must lie in [0, r_base]");
+  }
   return 1.0 - std::pow(r_reduced / r_base, alpha_);
 }
 

@@ -21,14 +21,16 @@ class EnergyModel {
   double alpha() const noexcept { return alpha_; }
 
   /// Per-node transmit power at range r, in units of power(r = 1).
+  /// Throws ConfigError (in every build mode) unless range >= 0.
   double transmit_power(double range) const;
 
   /// Total network transmit power with n nodes at common range r.
   double network_power(std::size_t node_count, double range) const;
 
   /// Fractional energy saved by operating at `r_reduced` instead of
-  /// `r_base`: 1 - (r_reduced / r_base)^alpha. Requires r_base > 0 and
-  /// 0 <= r_reduced <= r_base.
+  /// `r_base`: 1 - (r_reduced / r_base)^alpha. Throws ConfigError (in every
+  /// build mode) unless r_base > 0 and 0 <= r_reduced <= r_base — these are
+  /// user-facing quantities (measured ranges), not internal invariants.
   double savings(double r_base, double r_reduced) const;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/energy.hpp"
+#include "sim/stationary_sample.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -117,6 +119,56 @@ std::vector<double> figure8_tpause_values() {
 
 std::vector<double> figure9_vmax_fractions() {
   return {0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5};
+}
+
+void LinkModelTradeoffConfig::validate() const {
+  if (node_count < 2) throw ConfigError("LinkModelTradeoffConfig: node_count must be >= 2");
+  if (!(side > 0.0)) throw ConfigError("LinkModelTradeoffConfig: side must be > 0");
+  if (trials == 0) throw ConfigError("LinkModelTradeoffConfig: trials must be >= 1");
+  if (!(alpha >= 1.0)) throw ConfigError("LinkModelTradeoffConfig: alpha must be >= 1");
+  if (!(p_full > 0.0 && p_full <= 1.0)) {
+    throw ConfigError("LinkModelTradeoffConfig: p_full must lie in (0, 1]");
+  }
+  if (!(p_tolerant > 0.0 && p_tolerant <= p_full)) {
+    throw ConfigError("LinkModelTradeoffConfig: p_tolerant must lie in (0, p_full]");
+  }
+  search.validate();
+}
+
+std::vector<LinkModelTradeoffRow> link_model_energy_tradeoff(
+    const LinkModelTradeoffConfig& config, const std::vector<const LinkModelFamily*>& families,
+    std::uint64_t seed) {
+  config.validate();
+  for (const LinkModelFamily* family : families) {
+    if (family == nullptr) throw ConfigError("link_model_energy_tradeoff: null family");
+  }
+
+  const EnergyModel energy(config.alpha);
+  const Box<2> region(config.side);
+  std::vector<LinkModelTradeoffRow> rows;
+  rows.reserve(families.size());
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    // One substream root per family: rows are pure functions of (seed, f),
+    // independent of how many families the sweep includes or their order.
+    Rng family_rng = substream(seed, f);
+    const StationaryRangeSample sample = sample_link_model_critical_ranges<2>(
+        config.node_count, region, config.trials, family_rng, *families[f], config.search);
+
+    LinkModelTradeoffRow row;
+    row.model = families[f]->name();
+    row.r_full = sample.range_for_probability(config.p_full);
+    row.r_tolerant = sample.range_for_probability(config.p_tolerant);
+    row.mean_critical_range = sample.mean_critical_range();
+    // Order statistics are monotone in p, so r_tolerant <= r_full; both are
+    // positive for n >= 2 nodes at distinct positions, but guard the
+    // degenerate all-coincident sample rather than divide by zero.
+    if (row.r_full > 0.0) {
+      row.range_reduction = 1.0 - row.r_tolerant / row.r_full;
+      row.energy_savings = energy.savings(row.r_full, row.r_tolerant);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace experiments

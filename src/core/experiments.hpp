@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/mtrm.hpp"
+#include "graph/link_model.hpp"
+#include "topology/link_critical_range.hpp"
 
 namespace manet {
 
@@ -100,6 +103,48 @@ std::vector<double> figure8_tpause_values();
 
 /// Figure 9 sweep: v_max from 0.01*l to 0.5*l, expressed as fractions of l.
 std::vector<double> figure9_vmax_fractions();
+
+/// Configuration of the per-link-model energy/savings trade-off sweep: the
+/// paper's Section 4 question — how much transmit energy does tolerating a
+/// small disconnection probability save? — re-asked under each link model.
+struct LinkModelTradeoffConfig {
+  std::size_t node_count = 64;  ///< paper's n = sqrt(l) at l = 4096
+  double side = 4096.0;         ///< deployment region side l
+  std::size_t trials = 100;     ///< independent deployments per model
+  double alpha = 2.0;           ///< path-loss exponent of the energy model
+  double p_full = 0.99;         ///< "always connected" target probability
+  double p_tolerant = 0.90;     ///< relaxed connectivity target
+  LinkRangeSearchOptions search;
+
+  /// Throws ConfigError on inconsistent values (empty sweep, probabilities
+  /// outside (0, 1], p_tolerant > p_full, alpha < 1, non-positive side).
+  void validate() const;
+};
+
+/// One row of the trade-off table: the critical scales meeting the full and
+/// tolerant connectivity targets under one link model, and the fractional
+/// energy saved by relaxing from the former to the latter.
+struct LinkModelTradeoffRow {
+  std::string model;
+  double r_full = 0.0;            ///< scale for P(connected) >= p_full
+  double r_tolerant = 0.0;        ///< scale for P(connected) >= p_tolerant
+  double mean_critical_range = 0.0;
+  double range_reduction = 0.0;   ///< 1 - r_tolerant / r_full
+  double energy_savings = 0.0;    ///< EnergyModel(alpha).savings(r_full, r_tolerant)
+};
+
+/// Runs the energy/savings trade-off once per family in `families` (2-D
+/// deployments): samples the critical-scale distribution with
+/// sample_link_model_critical_ranges, reads both targets off its exact
+/// order statistics, and prices the relaxation with EnergyModel.
+///
+/// Family f draws everything from the substream (seed, f), so rows are
+/// independent of each other and of sweep order, and the whole table is
+/// bit-identical at any thread count (tests/parallel_determinism_test.cpp).
+/// Null family pointers are rejected with ConfigError.
+std::vector<LinkModelTradeoffRow> link_model_energy_tradeoff(
+    const LinkModelTradeoffConfig& config, const std::vector<const LinkModelFamily*>& families,
+    std::uint64_t seed);
 
 }  // namespace experiments
 }  // namespace manet

@@ -19,15 +19,39 @@ namespace manet {
 /// simulator reports per generated graph ("the percentage of connected
 /// graphs, the average size of the largest connected component, ...") plus
 /// the isolated-node census behind its observation that "disconnection is
-/// caused by only a few isolated nodes".
+/// caused by only a few isolated nodes", plus — since the LinkModel seam
+/// (graph/link_model.hpp) admits directed communication graphs — a strongly-
+/// connected-component census.
+///
+/// Empty-deployment semantics (n == 0), pinned by tests/proximity_test.cpp
+/// and tests/link_model_test.cpp: `component_count`, `largest_size`,
+/// `isolated_count`, `scc_count` and `largest_scc_size` are all 0;
+/// `connected()` / `strongly_connected()` are vacuously true; and
+/// `largest_fraction()` is defined as 1.0. Callers that divide by
+/// `component_count` or index by `largest_size` must branch on
+/// `node_count == 0` first — the public sim/ and core/ entry points reject
+/// empty deployments with ConfigError instead (see sim/snapshot_stats.hpp).
 struct ComponentSummary {
   std::size_t node_count = 0;
   std::size_t component_count = 0;
   std::size_t largest_size = 0;
   std::size_t isolated_count = 0;
+  /// Directed census. For symmetric link models (and this header's
+  /// unit-disk analyses) strong and weak connectivity coincide, so these
+  /// mirror component_count / largest_size. For directed models
+  /// (graph/link_model.hpp) they are computed from the arc set via
+  /// graph/scc.hpp, while the undirected fields above describe the
+  /// bidirectional (symmetric-closure) subgraph.
+  std::size_t scc_count = 0;
+  std::size_t largest_scc_size = 0;
 
   /// A graph on zero or one nodes is vacuously connected.
   bool connected() const noexcept { return component_count <= 1; }
+
+  /// "Connected" generalized to directed communication graphs: every
+  /// ordered pair of nodes can route to each other. Equals connected() for
+  /// symmetric models; vacuously true on zero or one nodes.
+  bool strongly_connected() const noexcept { return scc_count <= 1; }
 
   /// Largest component size as a fraction of n (1.0 for empty graphs).
   double largest_fraction() const noexcept {
@@ -36,9 +60,13 @@ struct ComponentSummary {
   }
 };
 
-/// Enumerates the edges of the communication graph: (u, v) is an edge iff
-/// the Euclidean distance between u and v is at most `radius` (the paper's
-/// point-graph / unit-disk model with common transmitting range r).
+/// Enumerates the edges of the communication graph under the paper's
+/// point-graph / unit-disk link rule: (u, v) is an edge iff the Euclidean
+/// distance between u and v is at most `radius` (common transmitting range
+/// r). This is the *default* link rule, not the only one: the LinkModel seam
+/// (graph/link_model.hpp) generalizes graph construction to log-normal
+/// shadowing and heterogeneous per-node ranges, and its UnitDiskLinkModel is
+/// pinned bit-identical to this function by tests/link_model_test.cpp.
 template <int D>
 std::vector<std::pair<std::size_t, std::size_t>> proximity_edges(
     std::span<const Point<D>> points, const Box<D>& box, double radius) {
@@ -82,6 +110,10 @@ ComponentSummary analyze_components(std::span<const Point<D>> points, const Box<
 
   summary.component_count = dsu.component_count();
   summary.largest_size = dsu.largest_component_size();
+  // Unit-disk graphs are undirected, so the strong census coincides with the
+  // weak one (same convention the symmetric LinkModel analyses use).
+  summary.scc_count = summary.component_count;
+  summary.largest_scc_size = summary.largest_size;
   for (std::size_t d : degree) {
     if (d == 0) ++summary.isolated_count;
   }

@@ -1,0 +1,110 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/error.hpp"
+
+namespace manet {
+namespace {
+
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SccPartition strongly_connected_components(std::size_t n,
+                                           std::span<const DirectedEdge> arcs) {
+  for (const DirectedEdge& arc : arcs) {
+    MANET_EXPECTS(arc.from < n && arc.to < n);
+  }
+
+  SccPartition result;
+  result.component_of.assign(n, 0);
+  if (n == 0) return result;
+
+  // CSR out-adjacency via counting sort by source: deterministic neighbor
+  // order (arc order within a source is preserved), no per-vertex vectors.
+  std::vector<std::size_t> head(n + 1, 0);
+  for (const DirectedEdge& arc : arcs) ++head[arc.from + 1];
+  for (std::size_t v = 1; v <= n; ++v) head[v] += head[v - 1];
+  std::vector<std::size_t> targets(arcs.size());
+  {
+    std::vector<std::size_t> cursor(head.begin(), head.end() - 1);
+    for (const DirectedEdge& arc : arcs) targets[cursor[arc.from]++] = arc.to;
+  }
+
+  // Iterative Tarjan. `index` doubles as the visitation mark; `on_stack` is
+  // tracked with a byte vector rather than set lookups.
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<unsigned char> on_stack(n, 0);
+  std::vector<std::size_t> stack;          // Tarjan's component stack
+  std::vector<std::size_t> call_vertex;    // explicit DFS stack: vertex ...
+  std::vector<std::size_t> call_edge;      // ... and its next out-edge cursor
+  stack.reserve(n);
+  call_vertex.reserve(n);
+  call_edge.reserve(n);
+
+  std::size_t next_index = 0;
+  std::size_t largest = 0;
+  std::size_t components = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_vertex.push_back(root);
+    call_edge.push_back(head[root]);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_vertex.empty()) {
+      const std::size_t v = call_vertex.back();
+      std::size_t& cursor = call_edge.back();
+      if (cursor < head[v + 1]) {
+        const std::size_t w = targets[cursor++];
+        if (index[w] == kUnvisited) {
+          call_vertex.push_back(w);
+          call_edge.push_back(head[w]);
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+
+      // All out-edges of v explored: close v, then propagate its lowlink to
+      // the DFS parent (the new stack top).
+      if (lowlink[v] == index[v]) {
+        std::size_t size = 0;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          result.component_of[w] = components;
+          ++size;
+          if (w == v) break;
+        }
+        largest = std::max(largest, size);
+        ++components;
+      }
+      call_vertex.pop_back();
+      call_edge.pop_back();
+      if (!call_vertex.empty()) {
+        const std::size_t parent = call_vertex.back();
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+
+  result.component_count = components;
+  result.largest_size = largest;
+  MANET_ENSURE(components >= 1 && components <= n);
+  MANET_ENSURE(largest >= 1 && largest <= n);
+  MANET_ENSURE(stack.empty());
+  return result;
+}
+
+}  // namespace manet

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace manet {
+
+/// A directed communication link `from -> to`: `from` can reach `to` at its
+/// own transmitting range, but not necessarily vice versa. Directed graphs
+/// arise as soon as per-node ranges differ (graph/link_model.hpp); the
+/// symmetric point-graph model of the paper is the special case where every
+/// arc's reverse is present.
+struct DirectedEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+
+  friend constexpr bool operator==(const DirectedEdge&, const DirectedEdge&) = default;
+};
+
+/// Partition of the vertices [0, n) of a directed graph into strongly
+/// connected components: u and v share a component iff each can reach the
+/// other along directed arcs. For directed communication graphs this is the
+/// meaningful generalization of "connected" — a strongly connected network
+/// can route between every ordered pair of nodes.
+struct SccPartition {
+  /// Component id of every vertex, in [0, component_count). Ids are assigned
+  /// in the deterministic order Tarjan's algorithm completes components
+  /// (a reverse topological order of the condensation).
+  std::vector<std::size_t> component_of;
+  std::size_t component_count = 0;
+  /// Number of vertices in the largest component (0 for the empty graph).
+  std::size_t largest_size = 0;
+
+  /// A graph on zero or one vertices is vacuously strongly connected,
+  /// mirroring ComponentSummary::connected().
+  bool strongly_connected() const noexcept { return component_count <= 1; }
+};
+
+/// Computes the strongly connected components of the directed graph on
+/// vertices [0, n) with the given arcs (parallel arcs and self-loops are
+/// permitted and have no effect beyond their reachability contribution).
+/// Iterative Tarjan: O(n + m) time, deterministic component numbering for a
+/// fixed arc order, no recursion (safe for adversarially deep graphs).
+/// Requires every endpoint < n.
+SccPartition strongly_connected_components(std::size_t n, std::span<const DirectedEdge> arcs);
+
+}  // namespace manet

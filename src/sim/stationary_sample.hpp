@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "geometry/box.hpp"
+#include "graph/link_model.hpp"
 #include "sim/deployment.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "topology/critical_range.hpp"
+#include "topology/link_critical_range.hpp"
 
 namespace manet {
 
@@ -61,6 +63,33 @@ StationaryRangeSample sample_stationary_critical_ranges(std::size_t n, const Box
       parallel_for_trials(trials, trial_root, [n, &box](std::size_t, Rng& trial_rng) {
         const auto points = uniform_deployment(n, box, trial_rng);
         return critical_range<D>(points, box);
+      });
+  return StationaryRangeSample(std::move(radii));
+}
+
+/// Link-model generalization of sample_stationary_critical_ranges: each
+/// trial's critical scale comes from link_model_critical_range under
+/// `family` instead of the unit-disk EMST bottleneck (to which it reduces
+/// bit-for-bit when the family declares exact_bottleneck()).
+///
+/// Two draws from `rng` seed two independent substream roots: one for the
+/// per-trial deployments, one for the per-trial fading seeds — both pure
+/// functions of the trial index, so the sample is bit-identical at any
+/// thread count (pinned by tests/parallel_determinism_test.cpp). Distinct
+/// trials see distinct fading realizations, matching the paper's
+/// methodology of redrawing everything random per trial.
+template <int D>
+StationaryRangeSample sample_link_model_critical_ranges(
+    std::size_t n, const Box<D>& box, std::size_t trials, Rng& rng,
+    const LinkModelFamily& family, const LinkRangeSearchOptions& options = {}) {
+  options.validate();
+  const std::uint64_t trial_root = rng.next_u64();
+  const std::uint64_t fading_root = rng.next_u64();
+  std::vector<double> radii = parallel_for_trials(
+      trials, trial_root, [n, &box, &family, &options, fading_root](std::size_t trial, Rng& trial_rng) {
+        const auto points = uniform_deployment(n, box, trial_rng);
+        return link_model_critical_range<D>(points, box, family,
+                                            substream_seed(fading_root, trial), options);
       });
   return StationaryRangeSample(std::move(radii));
 }

@@ -89,6 +89,28 @@ bool Rng::bernoulli(double p) {
   return uniform() < p;
 }
 
+double Rng::normal() {
+  // Marsaglia polar method: draw (u, v) uniformly in the square [-1, 1)^2
+  // until the pair falls strictly inside the unit disk (excluding the
+  // origin), then scale. Each accepted pair yields one normal deviate; the
+  // second root the method produces is deliberately discarded so the draw
+  // count per call stays a pure function of the stream (no hidden cache
+  // that a copy of the Rng would duplicate).
+  for (;;) {
+    const double u = 2.0 * uniform() - 1.0;
+    const double v = 2.0 * uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::normal(double mean, double stddev) {
+  MANET_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
 Rng Rng::split() noexcept {
   // Derive the child seed from fresh draws so parent and child streams are
   // decorrelated; mixing through SplitMix64 happens in the Rng constructor.

@@ -114,6 +114,19 @@ class Rng {
   /// True with probability p. Requires p in [0, 1].
   bool bernoulli(double p);
 
+  /// Standard normal draw (mean 0, stddev 1) via the Marsaglia polar
+  /// method. Consumes a rejection-dependent number of uniform draws from
+  /// this stream; like every other draw it is a deterministic function of
+  /// the stream state (the only libm calls are sqrt and log on values that
+  /// are themselves bit-determined). This is the one sanctioned source of
+  /// Gaussian randomness in the library — `std::normal_distribution` is
+  /// banned by the `nondet-random` lint rule because its draw algorithm is
+  /// implementation-defined and would break cross-toolchain reproducibility.
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation (>= 0).
+  double normal(double mean, double stddev);
+
   /// A new Rng whose stream is statistically independent of this one.
   /// Consumes two draws from this stream to derive the child seed (see the
   /// class-level determinism notes).

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "geometry/box.hpp"
+#include "geometry/point.hpp"
+#include "graph/link_model.hpp"
+#include "support/error.hpp"
+#include "topology/critical_range.hpp"
+
+namespace manet {
+
+/// Options of the bisection fallback in link_model_critical_range. The
+/// search stops when the bracket width falls below
+/// `relative_tolerance * (initial hi)` or after `max_iterations` halvings
+/// (80 halvings of any double bracket reach 1 ulp, so the iteration cap is a
+/// backstop, not the usual exit).
+struct LinkRangeSearchOptions {
+  double relative_tolerance = 1e-6;
+  std::size_t max_iterations = 80;
+
+  /// Throws ConfigError on out-of-domain values.
+  void validate() const {
+    if (!(relative_tolerance > 0.0)) {
+      throw ConfigError("LinkRangeSearchOptions: relative_tolerance must be > 0");
+    }
+    if (max_iterations == 0) {
+      throw ConfigError("LinkRangeSearchOptions: max_iterations must be >= 1");
+    }
+  }
+};
+
+/// Critical scale parameter of a deployment under an arbitrary link-model
+/// family: the minimum r such that `family.at_range(r, n, fading_seed)`
+/// makes the communication graph (strongly) connected.
+///
+/// The paper's exact argument — rc equals the bottleneck edge of the
+/// Euclidean MST — holds only for the unit disk, where "edge at range r" is
+/// a pure threshold on Euclidean distance. Families that declare
+/// `exact_bottleneck()` take that exact path (bit-identical to
+/// critical_range). Every other family falls back to deterministic
+/// bisection, which is correct because connectivity stays *monotone in r*
+/// even under random attenuation: the fading gains are a pure function of
+/// (fading_seed, pair) — independent of r — so growing r only ever adds
+/// links. The initial bracket is [0, box.diagonal() * family.hi_factor()],
+/// connected by the family's hi_factor guarantee (checked).
+///
+/// Determinism: no randomness is drawn here; everything is keyed by
+/// `fading_seed`, so the result is bit-identical at any thread count and
+/// across repeated calls. Returns 0 for n <= 1 (vacuously connected).
+template <int D>
+double link_model_critical_range(std::span<const Point<D>> points, const Box<D>& box,
+                                 const LinkModelFamily& family, std::uint64_t fading_seed,
+                                 const LinkRangeSearchOptions& options = {}) {
+  options.validate();
+  if (points.size() <= 1) return 0.0;
+  if (family.exact_bottleneck()) {
+    return critical_range<D>(points, box);
+  }
+
+  const auto connected_at = [&](double r) {
+    const auto model = family.at_range(r, points.size(), fading_seed);
+    return analyze_link_components<D>(points, box, *model).strongly_connected();
+  };
+
+  double lo = 0.0;
+  double hi = box.diagonal() * family.hi_factor();
+  MANET_EXPECTS(hi > 0.0);
+  // The hi_factor contract promises connectivity at the initial hi; a model
+  // violating it would silently bisect toward a wrong answer, so check.
+  MANET_EXPECTS(connected_at(hi));
+
+  const double width_goal = options.relative_tolerance * hi;
+  for (std::size_t iter = 0; iter < options.max_iterations && hi - lo > width_goal; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // bracket collapsed to adjacent doubles
+    if (connected_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace manet

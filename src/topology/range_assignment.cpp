@@ -6,7 +6,11 @@
 namespace manet {
 
 RangeAssignment::RangeAssignment(std::vector<double> ranges) : ranges_(std::move(ranges)) {
-  for (double r : ranges_) MANET_EXPECTS(r >= 0.0);
+  // User-facing configuration boundary (ranges may come straight from CLI
+  // input): ConfigError, not a contract — and NaN-safe via the negated form.
+  for (double r : ranges_) {
+    if (!(r >= 0.0)) throw ConfigError("RangeAssignment: every range must be >= 0");
+  }
 }
 
 double RangeAssignment::range(std::size_t node) const {
@@ -15,7 +19,7 @@ double RangeAssignment::range(std::size_t node) const {
 }
 
 double RangeAssignment::cost(double alpha) const {
-  MANET_EXPECTS(alpha >= 1.0);
+  if (!(alpha >= 1.0)) throw ConfigError("RangeAssignment::cost: alpha must be >= 1");
   double total = 0.0;
   for (double r : ranges_) total += std::pow(r, alpha);
   return total;

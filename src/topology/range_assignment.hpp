@@ -22,14 +22,18 @@ namespace manet {
 /// cost  sum_i r_i^alpha.
 class RangeAssignment {
  public:
-  /// Takes per-node ranges (all >= 0).
+  /// Takes per-node ranges. Throws ConfigError (in every build mode) unless
+  /// all ranges are >= 0 — this is a user-configuration boundary, reachable
+  /// straight from CLI input.
   explicit RangeAssignment(std::vector<double> ranges);
 
   std::size_t node_count() const noexcept { return ranges_.size(); }
   std::span<const double> ranges() const noexcept { return ranges_; }
+  /// Requires node < node_count() (programmer contract: ContractViolation).
   double range(std::size_t node) const;
 
-  /// Total energy cost sum_i r_i^alpha. Requires alpha >= 1.
+  /// Total energy cost sum_i r_i^alpha. Throws ConfigError unless
+  /// alpha >= 1 (matching EnergyModel's constructor).
   double cost(double alpha = 2.0) const;
 
   /// The largest assigned range (the worst single node's exposure).

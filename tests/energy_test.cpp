@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/error.hpp"
 
 namespace manet {
@@ -43,13 +45,22 @@ TEST(EnergyModel, SavingsBounds) {
   const EnergyModel model;
   EXPECT_DOUBLE_EQ(model.savings(5.0, 5.0), 0.0);
   EXPECT_DOUBLE_EQ(model.savings(5.0, 0.0), 1.0);
-  EXPECT_THROW(model.savings(0.0, 0.0), ContractViolation);
-  EXPECT_THROW(model.savings(1.0, 2.0), ContractViolation);
+  // ConfigError, not a contract: these are user-facing measured quantities,
+  // and the validation must fire in Release builds too (this test runs in
+  // every CI build mode — it is the Release regression, not a death test).
+  EXPECT_THROW(model.savings(0.0, 0.0), ConfigError);
+  EXPECT_THROW(model.savings(0.0, 1.0), ConfigError);
+  EXPECT_THROW(model.savings(1.0, 2.0), ConfigError);
+  EXPECT_THROW(model.savings(1.0, -0.1), ConfigError);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model.savings(nan, 0.5), ConfigError);
+  EXPECT_THROW(model.savings(1.0, nan), ConfigError);
 }
 
 TEST(EnergyModel, TransmitPowerRejectsNegativeRange) {
   const EnergyModel model;
-  EXPECT_THROW(model.transmit_power(-1.0), ContractViolation);
+  EXPECT_THROW(model.transmit_power(-1.0), ConfigError);
+  EXPECT_THROW(model.transmit_power(std::numeric_limits<double>::quiet_NaN()), ConfigError);
 }
 
 }  // namespace

@@ -106,6 +106,39 @@ TEST(LintNondetRandom, CleanOnSeededEngineAndMemberRand) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintNondetRandom, FlagsStdDistributionAdaptors) {
+  // std::*_distribution draw sequences are implementation-defined, so they
+  // break the same-seed-same-result contract across standard libraries.
+  // Fading/deviate draws must go through support/rng substreams instead.
+  const auto diags = lint("src/graph/foo.cpp",
+                          "std::normal_distribution<double> z(0.0, 1.0);\n"
+                          "std::lognormal_distribution<double> g(0.0, sigma);\n"
+                          "std::uniform_real_distribution<double> u(0.0, 1.0);\n"
+                          "std::exponential_distribution<double> e(lambda);\n");
+  EXPECT_EQ(count_rule(diags, "nondet-random"), 4u);
+}
+
+TEST(LintNondetRandom, DistributionBanCoversTestsAndBenches) {
+  EXPECT_EQ(count_rule(lint("tests/foo_test.cpp",
+                            "std::uniform_int_distribution<int> d(0, 9);\n"),
+                       "nondet-random"),
+            1u);
+  EXPECT_EQ(count_rule(lint("bench/foo.cpp",
+                            "std::poisson_distribution<int> d(4.0);\n"),
+                       "nondet-random"),
+            1u);
+}
+
+TEST(LintNondetRandom, CleanOnDistributionLikeIdentifiers) {
+  // Substring matches must not fire: only the exact component names are
+  // banned, not words that merely contain "distribution".
+  const auto diags = lint("src/occupancy/foo.cpp",
+                          "auto empty_cells_distribution = histogram();\n"
+                          "double distribution = 0.5;\n"
+                          "// prose: the critical-range distribution is sampled\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // ----- nondet-time --------------------------------------------------------
 
 TEST(LintNondetTime, FlagsClockReadsAndChrono) {

@@ -10,12 +10,16 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "core/experiments.hpp"
 #include "core/mtrm.hpp"
 #include "core/paper_simulator.hpp"
 #include "geometry/box.hpp"
+#include "graph/link_model.hpp"
 #include "sim/stationary_sample.hpp"
 #include "sim/threshold_search.hpp"
 #include "support/parallel.hpp"
@@ -101,6 +105,63 @@ TEST(ParallelDeterminism, StationarySamplingIsBitIdenticalAcrossThreadCounts) {
                           samples[0].size() * sizeof(double)),
               0)
         << "sample differs at " << kThreadCounts[i] << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, LinkModelSamplingIsBitIdenticalAcrossThreadCounts) {
+  // The LinkModel seam's determinism contract (DESIGN.md §17): shadowing
+  // fading and heterogeneous per-node ranges are keyed by pure-function
+  // substreams, so the sampled critical-scale distribution is bit-identical
+  // at any thread count — for every family, not just the unit disk.
+  const Box2 box(256.0);
+  for (const std::string& name : link_model_family_names()) {
+    const auto family = make_link_model_family(name);
+    std::vector<std::vector<double>> samples;
+    for (std::size_t threads : kThreadCounts) {
+      ScopedThreads scoped(threads);
+      Rng rng(888);
+      const auto sample = sample_link_model_critical_ranges<2>(20, box, 48, rng, *family);
+      samples.emplace_back(sample.sorted_radii().begin(), sample.sorted_radii().end());
+    }
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      ASSERT_EQ(samples[0].size(), samples[i].size());
+      EXPECT_EQ(std::memcmp(samples[0].data(), samples[i].data(),
+                            samples[0].size() * sizeof(double)),
+                0)
+          << name << " sample differs at " << kThreadCounts[i] << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, LinkModelTradeoffIsBitIdenticalAcrossThreadCounts) {
+  experiments::LinkModelTradeoffConfig config;
+  config.node_count = 16;
+  config.side = 256.0;
+  config.trials = 32;
+
+  std::vector<std::unique_ptr<LinkModelFamily>> owned;
+  std::vector<const LinkModelFamily*> families;
+  for (const std::string& name : link_model_family_names()) {
+    owned.push_back(make_link_model_family(name));
+    families.push_back(owned.back().get());
+  }
+
+  std::vector<std::vector<experiments::LinkModelTradeoffRow>> runs;
+  for (std::size_t threads : kThreadCounts) {
+    ScopedThreads scoped(threads);
+    runs.push_back(experiments::link_model_energy_tradeoff(config, families, 2002));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[0].size(), runs[i].size());
+    for (std::size_t row = 0; row < runs[0].size(); ++row) {
+      EXPECT_EQ(runs[0][row].model, runs[i][row].model);
+      EXPECT_TRUE(bits_equal(runs[0][row].r_full, runs[i][row].r_full))
+          << runs[0][row].model << " at " << kThreadCounts[i] << " threads";
+      EXPECT_TRUE(bits_equal(runs[0][row].r_tolerant, runs[i][row].r_tolerant));
+      EXPECT_TRUE(bits_equal(runs[0][row].mean_critical_range,
+                             runs[i][row].mean_critical_range));
+      EXPECT_TRUE(bits_equal(runs[0][row].energy_savings, runs[i][row].energy_savings));
+    }
   }
 }
 

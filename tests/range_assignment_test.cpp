@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "geometry/box.hpp"
@@ -23,9 +24,15 @@ TEST(RangeAssignment, CostAndMaxRange) {
 }
 
 TEST(RangeAssignment, RejectsNegativeRangesAndBadAlpha) {
-  EXPECT_THROW(RangeAssignment({1.0, -0.5}), ContractViolation);
+  // ConfigError (thrown in every build mode): ranges and alpha arrive
+  // straight from user configuration. This is the Release-build regression
+  // for the validation — no death tests involved.
+  EXPECT_THROW(RangeAssignment({1.0, -0.5}), ConfigError);
+  EXPECT_THROW(RangeAssignment({-1.0}), ConfigError);
+  EXPECT_THROW(RangeAssignment({std::numeric_limits<double>::quiet_NaN()}), ConfigError);
   const RangeAssignment ok({1.0});
-  EXPECT_THROW(ok.cost(0.5), ContractViolation);
+  EXPECT_THROW(ok.cost(0.5), ConfigError);
+  // Out-of-bounds node index stays a programmer contract, not user config.
   EXPECT_THROW(ok.range(1), ContractViolation);
 }
 

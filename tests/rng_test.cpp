@@ -137,6 +137,35 @@ TEST(Rng, BernoulliRejectsOutOfRange) {
   EXPECT_THROW(rng.bernoulli(1.1), ContractViolation);
 }
 
+TEST(Rng, NormalIsDeterministicAndRoughlyStandard) {
+  Rng a(42);
+  Rng b(42);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = a.normal();
+    EXPECT_DOUBLE_EQ(x, b.normal());  // pure function of the stream
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithMeanAndStddev) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.variance(), 4.0, 0.2);
+  // Zero stddev collapses to the mean exactly (0 * z == 0 for finite z).
+  Rng degenerate(8);
+  EXPECT_DOUBLE_EQ(degenerate.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(9);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
 TEST(Rng, SplitProducesDecorrelatedStream) {
   Rng parent(11);
   Rng child = parent.split();

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/link_model.hpp"
 #include "mobility/factory.hpp"
 #include "mobility/stationary.hpp"
 #include "sim/mobile_trace.hpp"
@@ -84,15 +85,6 @@ TEST(CollectSnapshotStats, SingleNode) {
   EXPECT_DOUBLE_EQ(stats.largest_fraction.mean(), 1.0);
 }
 
-TEST(CollectSnapshotStats, ValidatesArguments) {
-  Rng rng(6);
-  const Box2 region(10.0);
-  StationaryModel<2> model;
-  EXPECT_THROW(collect_snapshot_stats<2>(5, region, 0, 1.0, model, rng), ContractViolation);
-  EXPECT_THROW(collect_snapshot_stats<2>(5, region, 3, 0.0, model, rng), ContractViolation);
-  EXPECT_THROW(collect_snapshot_stats<2>(0, region, 3, 1.0, model, rng), ContractViolation);
-}
-
 /// A mobility model that plays back a fixed per-step placement; used to
 /// construct snapshots with known structure.
 class ScriptedModel final : public MobilityModel<2> {
@@ -120,6 +112,87 @@ class ScriptedModel final : public MobilityModel<2> {
   std::size_t next_frame_ = 0;
   std::size_t node_count_ = 0;
 };
+
+TEST(CollectSnapshotStats, ValidatesArguments) {
+  Rng rng(6);
+  const Box2 region(10.0);
+  StationaryModel<2> model;
+  // User-facing simulation parameters: ConfigError in every build mode
+  // (steps, range and the explicit empty-deployment rejection).
+  EXPECT_THROW(collect_snapshot_stats<2>(5, region, 0, 1.0, model, rng), ConfigError);
+  EXPECT_THROW(collect_snapshot_stats<2>(5, region, 3, 0.0, model, rng), ConfigError);
+  EXPECT_THROW(collect_snapshot_stats<2>(0, region, 3, 1.0, model, rng), ConfigError);
+}
+
+TEST(CollectSnapshotStats, LinkModelOverloadMatchesUnitDiskRange) {
+  // The historical (range) signature must stay bit-identical to the
+  // LinkModel overload under UnitDiskLinkModel — same RNG consumption, same
+  // graphs, same aggregates.
+  const Box2 region(128.0);
+  const MobilityConfig config = MobilityConfig::paper_drunkard(128.0);
+
+  Rng rng_a(8);
+  auto model_a = make_mobility_model<2>(config, region);
+  const auto legacy = collect_snapshot_stats<2>(12, region, 30, 40.0, *model_a, rng_a);
+
+  Rng rng_b(8);
+  auto model_b = make_mobility_model<2>(config, region);
+  const UnitDiskLinkModel disk(40.0);
+  const auto seam = collect_snapshot_stats<2>(12, region, 30, disk, *model_b, rng_b);
+
+  EXPECT_DOUBLE_EQ(legacy.range, seam.range);
+  EXPECT_DOUBLE_EQ(legacy.connected_fraction, seam.connected_fraction);
+  EXPECT_DOUBLE_EQ(legacy.strongly_connected_fraction, seam.strongly_connected_fraction);
+  // Symmetric model: the strong census coincides with the weak one.
+  EXPECT_DOUBLE_EQ(seam.strongly_connected_fraction, seam.connected_fraction);
+  EXPECT_DOUBLE_EQ(legacy.mean_degree.mean(), seam.mean_degree.mean());
+  EXPECT_DOUBLE_EQ(legacy.component_count.mean(), seam.component_count.mean());
+  EXPECT_DOUBLE_EQ(legacy.largest_fraction.mean(), seam.largest_fraction.mean());
+  EXPECT_DOUBLE_EQ(legacy.disconnection_by_isolates_fraction,
+                   seam.disconnection_by_isolates_fraction);
+}
+
+TEST(CollectSnapshotStats, DirectedModelSeparatesStrongFromWeak) {
+  // The one-way-bridge gadget (see link_model_test.cpp): two close mutual
+  // pairs {0, 1} and {2, 3}, bridged only by the long one-way arcs 0 -> 3
+  // and 2 -> 1. The directed graph is strongly connected while the
+  // bidirectional subgraph splits in two — exactly the gap
+  // strongly_connected_fraction exists to expose.
+  const Box2 region(30.0);
+  const std::vector<Point2> gadget = {
+      {{0.0, 0.0}}, {{2.0, 0.0}}, {{22.0, 0.0}}, {{20.0, 0.0}}};
+  ScriptedModel model({gadget, gadget});
+  Rng rng(9);
+  const HeterogeneousRangeLinkModel link(RangeAssignment({20.0, 2.0, 20.0, 2.0}));
+  const auto stats = collect_snapshot_stats<2>(4, region, 3, link, model, rng);
+  // Steps 1-2 are scripted (strong yes, weak no); step 0 is the random
+  // deployment, so bound rather than pin its contribution.
+  EXPECT_GE(stats.strongly_connected_fraction, 2.0 / 3.0);
+  EXPECT_LE(stats.connected_fraction, 1.0 / 3.0);
+  EXPECT_GT(stats.strongly_connected_fraction, stats.connected_fraction);
+  EXPECT_EQ(stats.steps, 3u);
+}
+
+TEST(CollectSnapshotStats, DirectedModelStronglyConnectedWhenMutual) {
+  // Ranges exceeding the region diagonal in both directions: every
+  // deployment is strongly connected, and the strong census agrees with the
+  // weak one.
+  const Box2 region(20.0);
+  StationaryModel<2> model;
+  Rng rng(10);
+  const HeterogeneousRangeLinkModel link(RangeAssignment({30.0, 30.0}));
+  const auto stats = collect_snapshot_stats<2>(2, region, 2, link, model, rng);
+  EXPECT_DOUBLE_EQ(stats.strongly_connected_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.connected_fraction, 1.0);
+}
+
+TEST(CollectSnapshotStats, LinkModelRejectsNodeCountMismatch) {
+  const Box2 region(20.0);
+  StationaryModel<2> model;
+  Rng rng(11);
+  const HeterogeneousRangeLinkModel link(RangeAssignment({1.0, 1.0, 1.0}));
+  EXPECT_THROW(collect_snapshot_stats<2>(5, region, 2, link, model, rng), ConfigError);
+}
 
 TEST(CollectSnapshotStats, IsolateHealingDetectsThePapersDisconnectionMode) {
   // Deterministic scenario: a tight cluster plus one stray node. Every

@@ -48,13 +48,32 @@ std::vector<Rule> build_rules() {
   table.push_back(Rule{
       "nondet-random",
       "nondeterministic or hidden-state randomness is confined to "
-      "src/support/rng.hpp (seeded substreams only)",
+      "src/support/rng.hpp (seeded substreams only); std::*_distribution is "
+      "banned everywhere because its draw sequence is implementation-defined "
+      "— fading and deviate draws go through support/rng substreams",
       {"src", "bench", "tests"},
       {"src/support/rng.hpp", "src/support/rng.cpp"},
       {component("random_device"), component_call("rand"), component_call("srand"),
        component_call("rand_r"), component_call("drand48"), component_call("lrand48"),
        component_call("mrand48"), component_call("random"),
-       component_call("random_shuffle")},
+       component_call("random_shuffle"),
+       // The <random> distribution adaptors: which engine draws they make is
+       // implementation-defined, so the same seed yields different graphs on
+       // different standard libraries. Rng::normal()/uniform() are the
+       // sanctioned deterministic equivalents — not even rng.{hpp,cpp} may
+       // use these (the allowlist exempts the files, but keeping the
+       // patterns exhaustive documents the ban).
+       component("uniform_int_distribution"), component("uniform_real_distribution"),
+       component("bernoulli_distribution"), component("binomial_distribution"),
+       component("negative_binomial_distribution"), component("geometric_distribution"),
+       component("poisson_distribution"), component("exponential_distribution"),
+       component("gamma_distribution"), component("weibull_distribution"),
+       component("extreme_value_distribution"), component("normal_distribution"),
+       component("lognormal_distribution"), component("chi_squared_distribution"),
+       component("cauchy_distribution"), component("fisher_f_distribution"),
+       component("student_t_distribution"), component("discrete_distribution"),
+       component("piecewise_constant_distribution"),
+       component("piecewise_linear_distribution")},
   });
 
   table.push_back(Rule{
